@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section on synthetic data.
+//
+// Usage:
+//
+//	experiments -all                 # every artifact, small scale
+//	experiments -scale full -all     # paper-sized datasets (slow)
+//	experiments -table 6             # one table
+//	experiments -figure 2            # one figure (same as -table F2)
+//	experiments -list                # list available artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pharmaverify/internal/bench"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "dataset scale: small or full (paper sizes)")
+		table     = flag.String("table", "", "regenerate one table/artifact by ID (1,3..17,F1..F3,A1..A4)")
+		figure    = flag.String("figure", "", "regenerate one figure by number (1..3)")
+		all       = flag.Bool("all", false, "regenerate every artifact")
+		list      = flag.Bool("list", false, "list available artifacts")
+		format    = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.SmallScale
+	case "full":
+		scale = bench.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want small or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	id := *table
+	if *figure != "" {
+		id = "F" + *figure
+	}
+	if id == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating synthetic datasets (scale=%s, seed=%d)...\n", scale.Name, scale.Seed)
+	start := time.Now()
+	env, err := bench.NewEnv(scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("datasets ready in %v: %s has %d pharmacies, %s has %d\n\n",
+		time.Since(start).Round(time.Millisecond),
+		env.Snap1.Name, env.Snap1.Len(), env.Snap2.Name, env.Snap2.Len())
+
+	run := func(r bench.Runner) {
+		t0 := time.Now()
+		tab, err := r.Run(env)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.ID, err))
+		}
+		if *format == "markdown" {
+			_, err = tab.WriteMarkdown(os.Stdout)
+		} else {
+			_, err = tab.WriteTo(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *all {
+		for _, r := range bench.Runners {
+			run(r)
+		}
+		return
+	}
+	r := bench.FindRunner(id)
+	if r == nil {
+		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (use -list)\n", id)
+		os.Exit(2)
+	}
+	run(*r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

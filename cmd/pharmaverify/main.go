@@ -1,0 +1,409 @@
+// Command pharmaverify is the command-line interface to the
+// internet-pharmacy verification system.
+//
+// Subcommands:
+//
+//	generate   generate a synthetic pharmacy web and save its crawled,
+//	           labeled snapshot as JSON
+//	classify   train on a labeled snapshot and classify another
+//	rank       train on a labeled snapshot and print the legitimacy
+//	           ranking of another (Problem 2, OPR)
+//	stats      print dataset statistics for a snapshot
+//
+// Example session:
+//
+//	pharmaverify generate -seed 1 -out dataset1.json
+//	pharmaverify generate -seed 1 -snapshot 2 -out dataset2.json
+//	pharmaverify classify -train dataset1.json -test dataset2.json
+//	pharmaverify rank -train dataset1.json -test dataset2.json -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pharmaverify/internal/arff"
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/vectorize"
+	"pharmaverify/internal/webgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "rank":
+		err = cmdRank(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pharmaverify: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pharmaverify:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pharmaverify <generate|classify|rank|stats> [flags]
+  generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
+  train     -in FILE -out MODEL.json [-classifier SVM] [-terms N]
+  classify  -train FILE | -model MODEL.json, -test FILE [-classifier SVM] [-terms N]
+  rank      -train FILE -test FILE [-top N]
+  stats     -in FILE
+  inspect   -model MODEL.json [-top N]   (most indicative terms per class)
+  export    -in FILE -out FILE.arff [-terms N] [-counts]   (Weka interop)`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "generation seed")
+	snapshot := fs.Int("snapshot", 1, "crawl epoch: 1 (Dataset 1) or 2 (six months later)")
+	legit := fs.Int("legit", 167, "number of legitimate pharmacies")
+	illegit := fs.Int("illegit", 1292, "number of illegitimate pharmacies")
+	offset := fs.Int("offset", 0, "illegitimate domain offset (use Dataset 1's -illegit for disjoint Dataset 2)")
+	out := fs.String("out", "", "output snapshot file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := webgen.Config{
+		Seed: *seed, Snapshot: *snapshot,
+		NumLegit: *legit, NumIllegit: *illegit,
+		IllegitOffset: *offset,
+	}
+	if *snapshot == 2 && *offset == 0 {
+		cfg.IllegitOffset = *illegit
+	}
+	world := webgen.Generate(cfg)
+	name := fmt.Sprintf("snapshot-%d-seed-%d", *snapshot, *seed)
+	snap, err := dataset.Build(name, world, world.Domains(), world.Labels(), crawler.Config{}, 16)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := snap.Save(w); err != nil {
+		return err
+	}
+	l, i := snap.Counts()
+	fmt.Fprintf(os.Stderr, "wrote %s: %d pharmacies (%d legitimate, %d illegitimate)\n",
+		name, snap.Len(), l, i)
+	return nil
+}
+
+func loadSnapshot(path string) (*dataset.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(f)
+}
+
+// cmdTrain trains a verifier on a labeled snapshot and persists it.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "labeled training snapshot (JSON)")
+	out := fs.String("out", "", "output model file (default stdout)")
+	clf := fs.String("classifier", "SVM", "text classifier: NBM, NB, SVM, J48, MLP")
+	terms := fs.Int("terms", 0, "term subsample size (0 = all)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("train: -in is required")
+	}
+	snap, err := loadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	v, err := core.Train(snap, core.Options{
+		Classifier: core.ClassifierKind(*clf), Terms: *terms, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := v.Save(w); err != nil {
+		return err
+	}
+	l, i := snap.Counts()
+	fmt.Fprintf(os.Stderr, "trained %s verifier on %d pharmacies (%d legit / %d illegit)\n",
+		*clf, snap.Len(), l, i)
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	trainPath := fs.String("train", "", "labeled training snapshot (JSON)")
+	modelPath := fs.String("model", "", "pre-trained model file (alternative to -train)")
+	testPath := fs.String("test", "", "snapshot to classify (JSON)")
+	clf := fs.String("classifier", "SVM", "text classifier: NBM, NB, SVM, J48, MLP")
+	terms := fs.Int("terms", 0, "term subsample size (0 = all)")
+	seed := fs.Int64("seed", 1, "random seed")
+	verbose := fs.Bool("v", false, "print every verdict")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*trainPath == "" && *modelPath == "") || *testPath == "" {
+		return fmt.Errorf("classify: -test and one of -train/-model are required")
+	}
+
+	test, err := loadSnapshot(*testPath)
+	if err != nil {
+		return err
+	}
+	var v *core.Verifier
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		v, err = core.LoadVerifier(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		train, err := loadSnapshot(*trainPath)
+		if err != nil {
+			return err
+		}
+		v, err = core.Train(train, core.Options{
+			Classifier: core.ClassifierKind(*clf), Terms: *terms, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	as := v.Assess(test.Pharmacies)
+
+	var conf eval.Confusion
+	for i, a := range as {
+		pred := ml.Illegitimate
+		if a.Legitimate {
+			pred = ml.Legitimate
+		}
+		conf.Observe(test.Pharmacies[i].Label, pred)
+		if *verbose {
+			fmt.Printf("%-40s verdict=%-12s textProb=%.3f trust=%.3f\n",
+				a.Domain, ml.ClassName(pred), a.TextProb, a.TrustScore)
+		}
+	}
+	fmt.Printf("classified %d pharmacies with %s\n", len(as), *clf)
+	fmt.Printf("accuracy=%.3f legitPrecision=%.3f legitRecall=%.3f illegitPrecision=%.3f illegitRecall=%.3f\n",
+		conf.Accuracy(), conf.PrecisionLegitimate(), conf.RecallLegitimate(),
+		conf.PrecisionIllegitimate(), conf.RecallIllegitimate())
+	return nil
+}
+
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	trainPath := fs.String("train", "", "labeled training snapshot (JSON)")
+	testPath := fs.String("test", "", "snapshot to rank (JSON)")
+	top := fs.Int("top", 10, "entries to print from each end of the ranking")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" || *testPath == "" {
+		return fmt.Errorf("rank: -train and -test are required")
+	}
+
+	train, err := loadSnapshot(*trainPath)
+	if err != nil {
+		return err
+	}
+	test, err := loadSnapshot(*testPath)
+	if err != nil {
+		return err
+	}
+	v, err := core.Train(train, core.Options{Classifier: core.NBM, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ranked := core.RankAssessments(v.Assess(test.Pharmacies))
+
+	scores := make([]float64, len(ranked))
+	labels := make([]int, len(ranked))
+	byDomain := map[string]int{}
+	for _, p := range test.Pharmacies {
+		byDomain[p.Domain] = p.Label
+	}
+	for i, a := range ranked {
+		scores[i] = a.Rank
+		labels[i] = byDomain[a.Domain]
+	}
+	fmt.Printf("ranked %d pharmacies; pairwise orderedness vs labels: %.4f\n",
+		len(ranked), eval.PairwiseOrderedness(scores, labels))
+
+	fmt.Println("\nmost legitimate:")
+	for i := 0; i < *top && i < len(ranked); i++ {
+		a := ranked[i]
+		fmt.Printf("%3d. %-40s rank=%.4f (%s)\n", i+1, a.Domain, a.Rank, ml.ClassName(byDomain[a.Domain]))
+	}
+	fmt.Println("\nleast legitimate:")
+	for i := len(ranked) - *top; i < len(ranked); i++ {
+		if i < 0 {
+			continue
+		}
+		a := ranked[i]
+		fmt.Printf("%3d. %-40s rank=%.4f (%s)\n", i+1, a.Domain, a.Rank, ml.ClassName(byDomain[a.Domain]))
+	}
+	return nil
+}
+
+// cmdInspect prints the terms a trained model finds most indicative of
+// each class — the reviewer-facing explanation of what the verifier
+// learned (the paper's §6.3.1 term analysis, automated).
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model file (from `pharmaverify train`)")
+	top := fs.Int("top", 15, "terms per class")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("inspect: -model is required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	v, err := core.LoadVerifier(f)
+	if err != nil {
+		return err
+	}
+	legit, illegit := v.IndicativeTerms(*top)
+	if legit == nil {
+		return fmt.Errorf("inspect: the model's text classifier has no linear term weights (use NBM or SVM)")
+	}
+	fmt.Println("terms indicative of LEGITIMATE pharmacies:")
+	for _, w := range legit {
+		fmt.Println("  " + w)
+	}
+	fmt.Println("terms indicative of ILLEGITIMATE pharmacies:")
+	for _, w := range illegit {
+		fmt.Println("  " + w)
+	}
+	return nil
+}
+
+// cmdExport writes a snapshot's TF-IDF (or raw-count) feature matrix as
+// a sparse Weka ARFF file, so the experiments can be replayed inside
+// Weka — the toolchain the paper used.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (JSON)")
+	out := fs.String("out", "", "output ARFF file (default stdout)")
+	terms := fs.Int("terms", 0, "term subsample size (0 = all)")
+	counts := fs.Bool("counts", false, "raw term counts instead of TF-IDF")
+	seed := fs.Int64("seed", 1, "subsampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("export: -in is required")
+	}
+	snap, err := loadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+
+	docs := snap.SubsampledTerms(*terms, *seed)
+	corpus := vectorize.NewCorpus(docs, snap.Labels(), snap.Domains())
+	weighting := vectorize.WeightTFIDF
+	if *counts {
+		weighting = vectorize.WeightCounts
+	}
+	ds := corpus.Dataset(weighting)
+	names := make([]string, corpus.Vocab.Size())
+	for i := range names {
+		names[i] = corpus.Vocab.Term(i)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := arff.Write(w, snap.Name, ds, names); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d instances × %d attributes\n", ds.Len(), ds.Dim)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	snap, err := loadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	l, i := snap.Counts()
+	var terms, pages, endpoints int
+	for _, p := range snap.Pharmacies {
+		terms += len(p.Terms)
+		pages += p.Pages
+		endpoints += len(p.Outbound)
+	}
+	fmt.Printf("snapshot %q: %d pharmacies (%d legitimate / %d illegitimate)\n", snap.Name, snap.Len(), l, i)
+	if n := snap.Len(); n > 0 {
+		fmt.Printf("avg pages/site: %.1f  avg terms/summary: %.0f  avg outbound endpoints/site: %.1f\n",
+			float64(pages)/float64(n), float64(terms)/float64(n), float64(endpoints)/float64(n))
+	}
+	return nil
+}

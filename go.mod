@@ -1,0 +1,3 @@
+module pharmaverify
+
+go 1.22

@@ -1,0 +1,262 @@
+// Package arff reads and writes Weka ARFF files for the repository's
+// datasets. The paper ran its classifiers in Weka 3; exporting our
+// feature matrices in ARFF lets anyone replay an experiment inside
+// Weka and cross-check this reimplementation against the original
+// toolchain.
+//
+// The writer emits the sparse ARFF variant ({index value, ...}), which
+// is the natural fit for TF-IDF term vectors; the reader accepts both
+// sparse and dense instance lines. Only numeric attributes plus a final
+// binary nominal class attribute are supported — exactly the shape of
+// every dataset in this system.
+package arff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pharmaverify/internal/ml"
+)
+
+// classValues are the nominal values of the class attribute, indexed by
+// ml label (0 = illegitimate, 1 = legitimate).
+var classValues = [2]string{"illegitimate", "legitimate"}
+
+// Write serializes a dataset as sparse ARFF. attrNames optionally
+// provides attribute names (e.g. vocabulary terms); missing names fall
+// back to "a<i>". The relation name is sanitized into a single token.
+func Write(w io.Writer, relation string, ds *ml.Dataset, attrNames []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n\n", sanitizeToken(relation))
+	for i := 0; i < ds.Dim; i++ {
+		name := ""
+		if i < len(attrNames) {
+			name = attrNames[i]
+		}
+		if name == "" {
+			name = "a" + strconv.Itoa(i)
+		}
+		fmt.Fprintf(bw, "@attribute %s numeric\n", sanitizeToken(name))
+	}
+	fmt.Fprintf(bw, "@attribute class {%s,%s}\n\n@data\n", classValues[0], classValues[1])
+
+	for n, x := range ds.X {
+		bw.WriteByte('{')
+		for k, idx := range x.Ind {
+			if k > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%d %s", idx, formatValue(x.Val[k]))
+		}
+		if x.Len() > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%d %s}\n", ds.Dim, classValues[ds.Y[n]])
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeToken makes a string safe as an unquoted ARFF identifier.
+func sanitizeToken(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Read parses an ARFF file written by Write (or a compatible file with
+// numeric attributes and a trailing binary class). It returns the
+// dataset and the attribute names.
+func Read(r io.Reader) (*ml.Dataset, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var attrs []string
+	var classAttr []string
+	inData := false
+	ds := &ml.Dataset{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// ignored
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, nil, fmt.Errorf("arff: line %d: @attribute after @data", lineNo)
+			}
+			name, typ, err := parseAttribute(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("arff: line %d: %w", lineNo, err)
+			}
+			if strings.HasPrefix(typ, "{") {
+				vals := strings.Trim(typ, "{}")
+				for _, v := range strings.Split(vals, ",") {
+					classAttr = append(classAttr, strings.TrimSpace(v))
+				}
+			} else {
+				if classAttr != nil {
+					return nil, nil, fmt.Errorf("arff: line %d: numeric attribute after class", lineNo)
+				}
+				attrs = append(attrs, name)
+			}
+		case strings.HasPrefix(lower, "@data"):
+			if len(classAttr) != 2 {
+				return nil, nil, fmt.Errorf("arff: need a binary class attribute, got %v", classAttr)
+			}
+			ds.Dim = len(attrs)
+			inData = true
+		case inData:
+			x, y, err := parseInstance(line, len(attrs), classAttr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("arff: line %d: %w", lineNo, err)
+			}
+			ds.Add(x, y, "")
+		default:
+			return nil, nil, fmt.Errorf("arff: line %d: unexpected content %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if !inData {
+		return nil, nil, fmt.Errorf("arff: missing @data section")
+	}
+	return ds, attrs, nil
+}
+
+func parseAttribute(line string) (name, typ string, err error) {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return "", "", fmt.Errorf("empty attribute declaration")
+	}
+	if rest[0] == '\'' || rest[0] == '"' {
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = rest[1 : 1+end]
+		typ = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", fmt.Errorf("attribute %q has no type", rest)
+		}
+		name = rest[:sp]
+		typ = strings.TrimSpace(rest[sp+1:])
+	}
+	if typ == "" {
+		return "", "", fmt.Errorf("attribute %q has no type", name)
+	}
+	if !strings.HasPrefix(typ, "{") && !strings.EqualFold(typ, "numeric") && !strings.EqualFold(typ, "real") {
+		return "", "", fmt.Errorf("unsupported attribute type %q", typ)
+	}
+	return name, typ, nil
+}
+
+func parseInstance(line string, dim int, classAttr []string) (ml.Vector, int, error) {
+	if strings.HasPrefix(line, "{") {
+		return parseSparse(line, dim, classAttr)
+	}
+	return parseDense(line, dim, classAttr)
+}
+
+func parseSparse(line string, dim int, classAttr []string) (ml.Vector, int, error) {
+	body := strings.TrimSpace(line)
+	if !strings.HasSuffix(body, "}") {
+		return ml.Vector{}, 0, fmt.Errorf("unterminated sparse instance")
+	}
+	body = strings.TrimSpace(body[1 : len(body)-1])
+	m := map[int]float64{}
+	y := -1
+	if body != "" {
+		for _, pair := range strings.Split(body, ",") {
+			fields := strings.Fields(strings.TrimSpace(pair))
+			if len(fields) != 2 {
+				return ml.Vector{}, 0, fmt.Errorf("bad sparse entry %q", pair)
+			}
+			idx, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return ml.Vector{}, 0, fmt.Errorf("bad sparse index %q", fields[0])
+			}
+			if idx == dim {
+				var cerr error
+				y, cerr = classIndex(fields[1], classAttr)
+				if cerr != nil {
+					return ml.Vector{}, 0, cerr
+				}
+				continue
+			}
+			if idx < 0 || idx > dim {
+				return ml.Vector{}, 0, fmt.Errorf("sparse index %d out of range", idx)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return ml.Vector{}, 0, fmt.Errorf("bad sparse value %q", fields[1])
+			}
+			m[idx] = v
+		}
+	}
+	if y < 0 {
+		// Sparse ARFF omits the class when it equals the first nominal
+		// value (Weka convention: index 0 is the "zero" value).
+		y = 0
+	}
+	return ml.FromMap(m), y, nil
+}
+
+func parseDense(line string, dim int, classAttr []string) (ml.Vector, int, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != dim+1 {
+		return ml.Vector{}, 0, fmt.Errorf("instance has %d fields, want %d", len(parts), dim+1)
+	}
+	m := map[int]float64{}
+	for i := 0; i < dim; i++ {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return ml.Vector{}, 0, fmt.Errorf("bad value %q", parts[i])
+		}
+		if v != 0 {
+			m[i] = v
+		}
+	}
+	y, err := classIndex(strings.TrimSpace(parts[dim]), classAttr)
+	if err != nil {
+		return ml.Vector{}, 0, err
+	}
+	return ml.FromMap(m), y, nil
+}
+
+func classIndex(v string, classAttr []string) (int, error) {
+	v = strings.Trim(v, "'\"")
+	for i, c := range classAttr {
+		if c == v {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class value %q (want one of %v)", v, classAttr)
+}

@@ -1,0 +1,181 @@
+package arff
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func sampleDataset() *ml.Dataset {
+	ds := &ml.Dataset{Dim: 4}
+	ds.Add(ml.NewVector([]float64{0, 1.5, 0, 2}), ml.Legitimate, "a")
+	ds.Add(ml.NewVector([]float64{3, 0, 0, 0}), ml.Illegitimate, "b")
+	ds.Add(ml.NewVector([]float64{0, 0, 0, 0}), ml.Illegitimate, "c")
+	return ds
+}
+
+func TestWriteFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "demo set", sampleDataset(), []string{"viagra", "health", "", "fda"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"@relation demo_set",
+		"@attribute viagra numeric",
+		"@attribute health numeric",
+		"@attribute a2 numeric",
+		"@attribute fda numeric",
+		"@attribute class {illegitimate,legitimate}",
+		"@data",
+		"{1 1.5,3 2,4 legitimate}",
+		"{0 3,4 illegitimate}",
+		"{4 illegitimate}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := Write(&buf, "rt", ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, attrs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != ds.Dim {
+		t.Fatalf("attrs = %d, want %d", len(attrs), ds.Dim)
+	}
+	if got.Len() != ds.Len() || got.Dim != ds.Dim {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Len(), got.Dim, ds.Len(), ds.Dim)
+	}
+	for i := range ds.X {
+		if got.Y[i] != ds.Y[i] {
+			t.Errorf("instance %d label mismatch", i)
+		}
+		if d := ml.SquaredDistance(got.X[i], ds.X[i]); d > 1e-18 {
+			t.Errorf("instance %d differs by %v", i, d)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := &ml.Dataset{Dim: 30}
+	for i := 0; i < 50; i++ {
+		m := map[int]float64{}
+		for k := 0; k < rng.Intn(10); k++ {
+			m[rng.Intn(30)] = math.Round(rng.NormFloat64()*1e6) / 1e6
+		}
+		ds.Add(ml.FromMap(m), rng.Intn(2), "")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "rand", ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if got.Y[i] != ds.Y[i] || ml.SquaredDistance(got.X[i], ds.X[i]) > 1e-12 {
+			t.Fatalf("instance %d corrupted", i)
+		}
+	}
+}
+
+func TestReadDenseInstances(t *testing.T) {
+	src := `@relation dense
+@attribute f0 numeric
+@attribute f1 numeric
+@attribute class {illegitimate,legitimate}
+@data
+1.0,0,legitimate
+0,2.5,illegitimate
+`
+	ds, attrs, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 || ds.Len() != 2 {
+		t.Fatalf("shape wrong: %d attrs, %d instances", len(attrs), ds.Len())
+	}
+	if ds.Y[0] != ml.Legitimate || ds.X[0].At(0) != 1.0 {
+		t.Error("dense instance 0 wrong")
+	}
+	if ds.Y[1] != ml.Illegitimate || ds.X[1].At(1) != 2.5 {
+		t.Error("dense instance 1 wrong")
+	}
+}
+
+func TestReadQuotedAttributeNames(t *testing.T) {
+	src := "@relation q\n@attribute 'term one' numeric\n@attribute class {illegitimate,legitimate}\n@data\n{1 legitimate}\n"
+	ds, attrs, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs[0] != "term one" {
+		t.Errorf("attr = %q", attrs[0])
+	}
+	if ds.Y[0] != ml.Legitimate {
+		t.Error("class wrong")
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := "% header comment\n@relation c\n@attribute f numeric\n@attribute class {illegitimate,legitimate}\n@data\n% data comment\n{0 1, 1 legitimate}\n"
+	ds, _, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1 {
+		t.Errorf("len = %d", ds.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no data":          "@relation x\n@attribute f numeric\n@attribute class {a,b}\n",
+		"no class":         "@relation x\n@attribute f numeric\n@data\n1\n",
+		"bad type":         "@relation x\n@attribute f string\n@attribute class {a,b}\n@data\n",
+		"bad class value":  "@relation x\n@attribute f numeric\n@attribute class {a,b}\n@data\n1,c\n",
+		"bad sparse":       "@relation x\n@attribute f numeric\n@attribute class {a,b}\n@data\n{0 1\n",
+		"field mismatch":   "@relation x\n@attribute f numeric\n@attribute class {a,b}\n@data\n1,2,a\n",
+		"attribute after":  "@relation x\n@attribute f numeric\n@attribute class {a,b}\n@data\n@attribute g numeric\n",
+		"numeric after cl": "@relation x\n@attribute class {a,b}\n@attribute f numeric\n@data\n",
+	}
+	for name, src := range cases {
+		if _, _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSparseClassOmittedMeansFirstValue(t *testing.T) {
+	src := "@relation o\n@attribute f numeric\n@attribute class {illegitimate,legitimate}\n@data\n{0 5}\n"
+	ds, _, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Y[0] != ml.Illegitimate {
+		t.Error("omitted sparse class must decode to the first nominal value")
+	}
+}
+
+func TestSanitizeToken(t *testing.T) {
+	if got := sanitizeToken("hello world!"); got != "hello_world_" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitizeToken(""); got != "unnamed" {
+		t.Errorf("empty = %q", got)
+	}
+}

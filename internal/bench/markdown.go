@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the table as GitHub-flavored markdown, used by
+// `cmd/experiments -format markdown` to regenerate the EXPERIMENTS.md
+// sections.
+func (t *Table) WriteMarkdown(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+
+	width := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for i := 0; i < width; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteByte(' ')
+			b.WriteString(escapeMarkdownCell(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	b.WriteByte('|')
+	for i := 0; i < width; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func escapeMarkdownCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		return " "
+	}
+	return s
+}

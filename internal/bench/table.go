@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is one reproduced paper artifact, formatted for the terminal.
+type Table struct {
+	ID     string // "Table 3", "Figure 2", "Ablation A1", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries free-form commentary printed under the table
+	// (shape expectations, substitutions).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// f2 formats a metric the way the paper's tables do (two decimals).
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// f3 formats with three decimals (Table 15's pairord values).
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// sizeLabel renders a term-subset size ("All" for 0).
+func sizeLabel(k int) string {
+	if k == 0 {
+		return "All"
+	}
+	return strconv.Itoa(k)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pharmaverify/internal/eval"
+)
+
+// TestTextCVDeterministic: identical configs must produce identical
+// results (the repository-wide reproducibility guarantee).
+func TestTextCVDeterministic(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	cfg := TextConfig{Classifier: SVM, Terms: 250, Seed: 11}
+	a, err := TextCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TextCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Folds {
+		if a.Folds[f].Confusion != b.Folds[f].Confusion {
+			t.Fatalf("fold %d confusion differs", f)
+		}
+		if a.Folds[f].AUC != b.Folds[f].AUC {
+			t.Fatalf("fold %d AUC differs", f)
+		}
+	}
+}
+
+func TestNGGCVDeterministic(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	cfg := TextConfig{Representation: NGramGraphs, Classifier: NB, Terms: 100, Seed: 11}
+	a, err := TextCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TextCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean(eval.MetricAUC) != b.Mean(eval.MetricAUC) {
+		t.Fatal("NGG CV not deterministic")
+	}
+}
+
+func TestRankCVDeterministic(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	cfg := RankConfig{Classifier: NBM, Terms: 100, Seed: 11}
+	a, err := RankCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RankCV(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PairwiseOrderedness != b.PairwiseOrderedness {
+		t.Fatal("ranking not deterministic")
+	}
+	for i := range a.Ranking {
+		if a.Ranking[i] != b.Ranking[i] {
+			t.Fatalf("ranking entry %d differs", i)
+		}
+	}
+}
+
+func TestTextCVErrors(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	if _, err := TextCV(snap, TextConfig{Classifier: "BOGUS"}); err == nil {
+		t.Error("bogus classifier accepted (TF-IDF)")
+	}
+	if _, err := TextCV(snap, TextConfig{Representation: NGramGraphs, Classifier: "BOGUS"}); err == nil {
+		t.Error("bogus classifier accepted (NGG)")
+	}
+	if _, err := TextCV(snap, TextConfig{Representation: "BOGUS"}); err == nil {
+		t.Error("bogus representation accepted")
+	}
+	if _, err := TextCV(snap, TextConfig{Classifier: SVM, Sampling: "BOGUS"}); err == nil {
+		t.Error("bogus sampling accepted")
+	}
+}
+
+func TestRankCVErrors(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	if _, err := RankCV(snap, RankConfig{Classifier: "BOGUS"}); err == nil {
+		t.Error("bogus classifier accepted")
+	}
+	if _, err := RankCV(snap, RankConfig{Network: NetworkConfig{Variant: "BOGUS"}}); err == nil {
+		t.Error("bogus network variant accepted")
+	}
+}
+
+func TestDescribeRanking(t *testing.T) {
+	ranking := []RankedPharmacy{
+		{Domain: "good.example", Label: 1, Score: 1.9},
+		{Domain: "mid.example", Label: 0, Score: 0.9},
+		{Domain: "bad.example", Label: 0, Score: 0.1},
+	}
+	out := DescribeRanking(ranking, 1)
+	for _, want := range []string{"good.example", "bad.example", "legitimate", "top", "bottom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeRanking missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetworkScoresAlignment(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	seeds := map[string]float64{}
+	for _, p := range snap.Pharmacies {
+		if p.Label == 1 {
+			seeds[p.Domain] = 1
+		}
+	}
+	scores, err := NetworkScores(snap, seeds, NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != snap.Len() {
+		t.Fatalf("scores = %d, want %d", len(scores), snap.Len())
+	}
+	for i, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score[%d] = %v out of [0,1]", i, s)
+		}
+	}
+	// Seeded legitimate pharmacies must hold the top of the range.
+	var maxSeed float64
+	for i, p := range snap.Pharmacies {
+		if p.Label == 1 && scores[i] > maxSeed {
+			maxSeed = scores[i]
+		}
+	}
+	if maxSeed < 0.5 {
+		t.Errorf("best seed score = %v, expected near 1", maxSeed)
+	}
+}

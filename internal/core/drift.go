@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/vectorize"
+)
+
+// TrainTestAcross fits a text model on one snapshot and evaluates it on
+// another — the paper's "Old model with new data" experiment (§6.5.2).
+// The vocabulary is built from the training snapshot only; unseen terms
+// in the test snapshot are out-of-vocabulary, exactly the staleness the
+// experiment probes.
+func TrainTestAcross(train, test *dataset.Snapshot, cfg TextConfig) (eval.FoldResult, error) {
+	cfg = cfg.withDefaults()
+	if _, err := NewClassifier(cfg.Classifier, cfg.Seed); err != nil {
+		return eval.FoldResult{}, err
+	}
+
+	trainDocs := train.SubsampledTerms(cfg.Terms, cfg.Seed)
+	corpus := vectorize.NewCorpus(trainDocs, train.Labels(), train.Domains())
+	weighting := vectorize.WeightTFIDF
+	if cfg.Classifier == NBM {
+		weighting = vectorize.WeightCounts
+	}
+	trainDS := corpus.Dataset(weighting)
+
+	smp, err := Sampler(cfg.Sampling)
+	if err != nil {
+		return eval.FoldResult{}, err
+	}
+	if smp != nil {
+		trainDS = smp(trainDS, rand.New(rand.NewSource(cfg.Seed+31)))
+	}
+
+	clf, err := NewClassifier(cfg.Classifier, cfg.Seed)
+	if err != nil {
+		return eval.FoldResult{}, err
+	}
+	if err := clf.Fit(trainDS); err != nil {
+		return eval.FoldResult{}, err
+	}
+
+	testDocs := test.SubsampledTerms(cfg.Terms, cfg.Seed+1)
+	var fr eval.FoldResult
+	for i, doc := range testDocs {
+		var x ml.Vector
+		if weighting == vectorize.WeightCounts {
+			x = corpus.Vocab.Counts(doc)
+		} else {
+			x = corpus.Vocab.TFIDF(doc)
+		}
+		y := test.Pharmacies[i].Label
+		p := clf.Prob(x)
+		fr.Scores = append(fr.Scores, p)
+		fr.Labels = append(fr.Labels, y)
+		fr.Confusion.Observe(y, ml.PredictFromProb(p))
+	}
+	fr.AUC = eval.AUC(fr.Scores, fr.Labels)
+	return fr, nil
+}
+
+// DriftCell identifies one column of Tables 16/17.
+type DriftCell string
+
+const (
+	// OldOld trains and tests on Dataset 1 (cross-validated).
+	OldOld DriftCell = "Old-Old"
+	// NewNew trains and tests on Dataset 2 (cross-validated).
+	NewNew DriftCell = "New-New"
+	// OldNew trains on Dataset 1 and tests on Dataset 2.
+	OldNew DriftCell = "Old-New"
+)
+
+// DriftResult holds the three columns for one classifier/size setting.
+type DriftResult struct {
+	AUC            map[DriftCell]float64
+	LegitPrecision map[DriftCell]float64
+}
+
+// DriftStudy runs the model-evolution-over-time experiment for one
+// classifier configuration across both snapshots.
+func DriftStudy(old, new *dataset.Snapshot, cfg TextConfig) (DriftResult, error) {
+	res := DriftResult{
+		AUC:            make(map[DriftCell]float64),
+		LegitPrecision: make(map[DriftCell]float64),
+	}
+	oldCV, err := TextCV(old, cfg)
+	if err != nil {
+		return res, err
+	}
+	newCV, err := TextCV(new, cfg)
+	if err != nil {
+		return res, err
+	}
+	cross, err := TrainTestAcross(old, new, cfg)
+	if err != nil {
+		return res, err
+	}
+	res.AUC[OldOld] = oldCV.Mean(eval.MetricAUC)
+	res.AUC[NewNew] = newCV.Mean(eval.MetricAUC)
+	res.AUC[OldNew] = cross.AUC
+	res.LegitPrecision[OldOld] = oldCV.Mean(eval.MetricLegitPrecision)
+	res.LegitPrecision[NewNew] = newCV.Mean(eval.MetricLegitPrecision)
+	res.LegitPrecision[OldNew] = cross.Confusion.PrecisionLegitimate()
+	return res, nil
+}

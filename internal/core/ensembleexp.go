@@ -1,0 +1,193 @@
+package core
+
+import (
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ml/ensemble"
+)
+
+// EnsembleConfig parameterizes the ensemble-selection experiment
+// (§6.3.3), which combines the text and network model libraries.
+type EnsembleConfig struct {
+	// Terms is the TF-IDF subsample size (the paper reports the
+	// 1000-word case; default 1000).
+	Terms int
+	// Folds and Seed as elsewhere.
+	Folds int
+	Seed  int64
+	// MaxRounds bounds the greedy selection (default 20).
+	MaxRounds int
+	// Network configures the network library member.
+	Network NetworkConfig
+}
+
+func (c EnsembleConfig) withDefaults() EnsembleConfig {
+	if c.Terms == 0 {
+		c.Terms = 1000
+	}
+	if c.Folds == 0 {
+		c.Folds = 3
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 20
+	}
+	return c
+}
+
+// ensembleMember is one library model with its own feature view.
+type ensembleMember struct {
+	name string
+	clf  ml.Classifier
+	ds   *ml.Dataset // feature view aligned with snapshot order
+}
+
+// EnsembleCV runs cross-validated ensemble selection over a library of
+// heterogeneous models: NBM on term counts, SVM and J48 on TF-IDF, MLP
+// on N-Gram-Graph similarities, and Naïve Bayes on TrustRank scores.
+// Within each fold the training split is divided into a build portion
+// (model fitting) and a hillclimb portion (greedy selection), as in
+// Caruana et al.
+func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, error) {
+	cfg = cfg.withDefaults()
+	labels := snap.Labels()
+	names := snap.Domains()
+
+	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
+	folds := eval.StratifiedKFold(labelDS, cfg.Folds, cfg.Seed)
+
+	// Feature views shared across folds (text representations are fixed
+	// over the corpus, like the Weka ARFF inputs of the paper).
+	countsDS := TFIDFDataset(snap, TextConfig{Classifier: NBM, Terms: cfg.Terms, Seed: cfg.Seed})
+	tfidfDS := TFIDFDataset(snap, TextConfig{Classifier: SVM, Terms: cfg.Terms, Seed: cfg.Seed})
+
+	var res eval.CVResult
+	for f := range folds {
+		trainIdx, testIdx := folds.TrainTest(f)
+
+		// Split training into build (2/3) and hillclimb (1/3).
+		trainLabels := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(trainIdx)), Y: pick(labels, trainIdx)}
+		inner := eval.StratifiedKFold(trainLabels, 3, cfg.Seed+int64(f))
+		buildRel, hillRel := inner.TrainTest(0)
+		buildIdx := pick(trainIdx, buildRel)
+		hillIdx := pick(trainIdx, hillRel)
+
+		// Network features: TrustRank seeded with the build legitimate
+		// pharmacies only, so hillclimb instances are held out.
+		seeds := seedMap(snap, buildIdx, cfg.Network.Variant)
+		netScores, err := NetworkScores(snap, seeds, cfg.Network)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		netDS := scoreDataset(netScores, labels, names)
+
+		// NGG features: class graphs from half of the build split.
+		docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
+		nggDS := NGGFeatureDataset(docs, labels, names, buildIdx[:len(buildIdx)/2])
+
+		members := []ensembleMember{
+			{name: "NBM(text)", ds: countsDS},
+			{name: "SVM(text)", ds: tfidfDS},
+			{name: "J48(text)", ds: tfidfDS},
+			{name: "MLP(ngg)", ds: nggDS},
+			{name: "NB(network)", ds: netDS},
+		}
+		kinds := []ClassifierKind{NBM, SVM, J48, MLP, NB}
+		for m := range members {
+			clf, err := NewClassifier(kinds[m], cfg.Seed)
+			if err != nil {
+				return eval.CVResult{}, err
+			}
+			if err := clf.Fit(members[m].ds.Subset(buildIdx)); err != nil {
+				return eval.CVResult{}, err
+			}
+			members[m].clf = clf
+		}
+
+		// Greedy selection on the hillclimb split.
+		probs := make([][]float64, len(members))
+		hillLabels := pick(labels, hillIdx)
+		for m := range members {
+			p := make([]float64, len(hillIdx))
+			for j, i := range hillIdx {
+				p[j] = members[m].clf.Prob(members[m].ds.X[i])
+			}
+			probs[m] = p
+		}
+		selected := ensemble.SelectGreedy(probs, hillLabels, 2, cfg.MaxRounds, nil)
+
+		// Evaluate the averaged bag on the test fold.
+		fr := eval.FoldResult{TestIndex: testIdx}
+		for _, i := range testIdx {
+			modelProbs := make([]float64, len(members))
+			for m := range members {
+				modelProbs[m] = members[m].clf.Prob(members[m].ds.X[i])
+			}
+			p := ensemble.AverageSelected(selected, modelProbs)
+			fr.Scores = append(fr.Scores, p)
+			fr.Labels = append(fr.Labels, labels[i])
+			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
+		}
+		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
+		res.Folds = append(res.Folds, fr)
+	}
+	return res, nil
+}
+
+// CombinedFeaturesCV is the future-work ablation (§7b): a single
+// classifier over the concatenation of TF-IDF text features and the
+// TrustRank network score.
+func CombinedFeaturesCV(snap *dataset.Snapshot, clf ClassifierKind, terms int, folds int, seed int64, net NetworkConfig) (eval.CVResult, error) {
+	if folds == 0 {
+		folds = 3
+	}
+	labels := snap.Labels()
+	names := snap.Domains()
+	text := TFIDFDataset(snap, TextConfig{Classifier: clf, Terms: terms, Seed: seed})
+
+	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
+	kf := eval.StratifiedKFold(labelDS, folds, seed)
+
+	var res eval.CVResult
+	for f := range kf {
+		trainIdx, testIdx := kf.TrainTest(f)
+		seeds := seedMap(snap, trainIdx, net.Variant)
+		netScores, err := NetworkScores(snap, seeds, net)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		// Concatenate: text dims + 1 trust dim.
+		ds := &ml.Dataset{Dim: text.Dim + 1}
+		for i := range labels {
+			x := text.X[i]
+			ind := append(append([]int32{}, x.Ind...), int32(text.Dim))
+			val := append(append([]float64{}, x.Val...), netScores[i])
+			ds.Add(ml.Vector{Ind: ind, Val: val}, labels[i], names[i])
+		}
+		c, err := NewClassifier(clf, seed)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		if err := c.Fit(ds.Subset(trainIdx)); err != nil {
+			return eval.CVResult{}, err
+		}
+		fr := eval.FoldResult{TestIndex: testIdx}
+		for _, i := range testIdx {
+			p := c.Prob(ds.X[i])
+			fr.Scores = append(fr.Scores, p)
+			fr.Labels = append(fr.Labels, labels[i])
+			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
+		}
+		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
+		res.Folds = append(res.Folds, fr)
+	}
+	return res, nil
+}
+
+func pick(src []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for j, i := range idx {
+		out[j] = src[i]
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sort"
+
+	"pharmaverify/internal/ml/bayes"
+	"pharmaverify/internal/ml/svm"
+)
+
+// IndicativeTerms reports the k vocabulary terms most indicative of
+// each class under the trained text model — the explainability view a
+// human reviewer uses to audit a verdict (the paper's §6.3.1 analysis
+// found "viagra", "cialis" and "no prescription" dominating the
+// illegitimate side). It is supported for the linear models (NBM via
+// conditional log-odds, SVM via weights); other classifiers return nil
+// slices.
+func (v *Verifier) IndicativeTerms(k int) (legit, illegit []string) {
+	var score []float64
+	switch clf := v.text.(type) {
+	case *bayes.Multinomial:
+		score = clf.LogOdds()
+	case *svm.Linear:
+		score = clf.Weights()
+	default:
+		return nil, nil
+	}
+	if score == nil {
+		return nil, nil
+	}
+	idx := make([]int, len(score))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return score[idx[a]] > score[idx[b]] })
+
+	take := func(ids []int) []string {
+		out := make([]string, 0, k)
+		for _, i := range ids {
+			if len(out) == k {
+				break
+			}
+			out = append(out, v.vocab.Term(i))
+		}
+		return out
+	}
+	legit = take(idx)
+	rev := make([]int, len(idx))
+	for i, id := range idx {
+		rev[len(idx)-1-i] = id
+	}
+	illegit = take(rev)
+	return legit, illegit
+}

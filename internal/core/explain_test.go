@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestIndicativeTermsSVM(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: SVM, Terms: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit, illegit := v.IndicativeTerms(20)
+	if len(legit) != 20 || len(illegit) != 20 {
+		t.Fatalf("got %d/%d terms", len(legit), len(illegit))
+	}
+	// The paper's §6.3.1 signal words must surface on the illegitimate
+	// side for our synthetic corpus as well.
+	joined := map[string]bool{}
+	for _, w := range illegit {
+		joined[w] = true
+	}
+	found := 0
+	for _, w := range []string{"viagra", "cialis", "cheap", "discount", "levitra", "rx", "overnight"} {
+		if joined[w] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("illegitimate indicative terms miss the signal words: %v", illegit)
+	}
+	// And the two lists must not overlap.
+	for _, w := range legit {
+		if joined[w] {
+			t.Errorf("term %q in both lists", w)
+		}
+	}
+}
+
+func TestIndicativeTermsNBM(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: NBM, Terms: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit, illegit := v.IndicativeTerms(10)
+	if len(legit) != 10 || len(illegit) != 10 {
+		t.Fatalf("got %d/%d terms", len(legit), len(illegit))
+	}
+}
+
+func TestIndicativeTermsUnsupportedClassifier(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: J48, Terms: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit, illegit := v.IndicativeTerms(5)
+	if legit != nil || illegit != nil {
+		t.Error("trees have no linear term weights; want nil slices")
+	}
+}

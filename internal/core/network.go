@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/trust"
+)
+
+// NetworkVariant selects the link-analysis algorithm.
+type NetworkVariant string
+
+const (
+	// TrustRankUndirected runs TrustRank on the symmetrized link graph
+	// (the pipeline default; see internal/trust for the rationale).
+	TrustRankUndirected NetworkVariant = "TrustRank"
+	// TrustRankDirected runs TrustRank strictly along outbound links.
+	TrustRankDirected NetworkVariant = "TrustRank-directed"
+	// AntiTrust seeds distrust at known-illegitimate pharmacies and
+	// propagates it backwards (Krishnan & Raj), negated so that higher
+	// still means more legitimate.
+	AntiTrust NetworkVariant = "Anti-TrustRank"
+	// PageRankBaseline uses unseeded PageRank scores.
+	PageRankBaseline NetworkVariant = "PageRank"
+)
+
+// NetworkConfig parameterizes the network-classification experiment
+// (§6.3.2).
+type NetworkConfig struct {
+	// Variant selects the algorithm (default TrustRankUndirected).
+	Variant NetworkVariant
+	// Classifier is the base learner (default NB, as in the paper).
+	Classifier ClassifierKind
+	// Folds (default 3) and Seed as elsewhere.
+	Folds int
+	Seed  int64
+	// Trust tunes the underlying power iteration.
+	Trust trust.Config
+	// IncludeAuxiliary adds the snapshot's auxiliary non-pharmacy sites
+	// (health portals, review directories) to the link graph, so their
+	// inbound links to pharmacies participate in trust propagation —
+	// the paper's future-work extension (a).
+	IncludeAuxiliary bool
+}
+
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	if c.Variant == "" {
+		c.Variant = TrustRankUndirected
+	}
+	if c.Classifier == "" {
+		c.Classifier = NB
+	}
+	if c.Folds == 0 {
+		c.Folds = 3
+	}
+	return c
+}
+
+// NetworkScores computes the per-pharmacy trust scores for a snapshot
+// given the seed pharmacies (domain → oracle value; for TrustRank the
+// known legitimate pharmacies at 1). Scores are aligned with
+// snap.Pharmacies.
+func NetworkScores(snap *dataset.Snapshot, seeds map[string]float64, cfg NetworkConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	outbound := snap.Outbound()
+	if cfg.IncludeAuxiliary {
+		for d, eps := range snap.AuxOutbound() {
+			outbound[d] = eps
+		}
+	}
+	g := trust.BuildGraph(outbound)
+
+	var values []float64
+	var sg *trust.Graph
+	switch cfg.Variant {
+	case TrustRankUndirected:
+		sg = g.Undirected()
+		values = trust.TrustRank(sg, seeds, cfg.Trust)
+	case TrustRankDirected:
+		sg = g
+		values = trust.TrustRank(sg, seeds, cfg.Trust)
+	case AntiTrust:
+		sg = g.Undirected()
+		values = trust.AntiTrustRank(sg, seeds, cfg.Trust)
+		for i := range values {
+			values[i] = 1 - values[i] // higher = more legitimate
+		}
+	case PageRankBaseline:
+		sg = g
+		values = trust.PageRank(sg, cfg.Trust)
+		normalizeToUnit(values)
+	default:
+		return nil, fmt.Errorf("core: unknown network variant %q", cfg.Variant)
+	}
+
+	scores := trust.NewScores(sg, values)
+	out := make([]float64, snap.Len())
+	for i, p := range snap.Pharmacies {
+		out[i] = scores.Of(p.Domain)
+	}
+	return out, nil
+}
+
+func normalizeToUnit(v []float64) {
+	var m float64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	if m > 0 {
+		for i := range v {
+			v[i] /= m
+		}
+	}
+}
+
+// NetworkCV runs the cross-validated network classification of §6.3.2:
+// per fold, TrustRank is seeded with the *training* legitimate
+// pharmacies (the initial seed P0), and a Naïve Bayes classifier is
+// trained on the resulting scores.
+func NetworkCV(snap *dataset.Snapshot, cfg NetworkConfig) (eval.CVResult, error) {
+	cfg = cfg.withDefaults()
+	labels := snap.Labels()
+	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
+	folds := eval.StratifiedKFold(labelDS, cfg.Folds, cfg.Seed)
+
+	var res eval.CVResult
+	for f := range folds {
+		trainIdx, testIdx := folds.TrainTest(f)
+		seeds := seedMap(snap, trainIdx, cfg.Variant)
+		scores, err := NetworkScores(snap, seeds, cfg)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		ds := scoreDataset(scores, labels, snap.Domains())
+
+		clf, err := NewClassifier(cfg.Classifier, cfg.Seed)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		if err := clf.Fit(ds.Subset(trainIdx)); err != nil {
+			return eval.CVResult{}, err
+		}
+		fr := eval.FoldResult{TestIndex: testIdx}
+		for _, i := range testIdx {
+			p := clf.Prob(ds.X[i])
+			fr.Scores = append(fr.Scores, p)
+			fr.Labels = append(fr.Labels, labels[i])
+			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
+		}
+		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
+		res.Folds = append(res.Folds, fr)
+	}
+	return res, nil
+}
+
+// seedMap builds the TrustRank initialization from the training fold:
+// legitimate training pharmacies get value 1 (or, for Anti-TrustRank,
+// the illegitimate training pharmacies do).
+func seedMap(snap *dataset.Snapshot, trainIdx []int, variant NetworkVariant) map[string]float64 {
+	seeds := make(map[string]float64)
+	for _, i := range trainIdx {
+		p := snap.Pharmacies[i]
+		switch variant {
+		case AntiTrust:
+			if p.Label == ml.Illegitimate {
+				seeds[p.Domain] = 1
+			}
+		default:
+			if p.Label == ml.Legitimate {
+				seeds[p.Domain] = 1
+			}
+		}
+	}
+	return seeds
+}
+
+// scoreDataset wraps 1-D trust scores as an ml.Dataset.
+func scoreDataset(scores []float64, labels []int, names []string) *ml.Dataset {
+	ds := &ml.Dataset{Dim: 1}
+	for i, s := range scores {
+		name := ""
+		if names != nil {
+			name = names[i]
+		}
+		ds.Add(ml.NewVector([]float64{s}), labels[i], name)
+	}
+	return ds
+}

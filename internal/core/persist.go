@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ml/bayes"
+	"pharmaverify/internal/ml/mlp"
+	"pharmaverify/internal/ml/svm"
+	"pharmaverify/internal/ml/tree"
+	"pharmaverify/internal/vectorize"
+)
+
+// verifierState is the JSON wire form of a trained Verifier: the frozen
+// vocabulary, the text and network models, and the training link
+// structure needed to score new pharmacies.
+type verifierState struct {
+	Options       Options             `json:"options"`
+	Vocabulary    json.RawMessage     `json:"vocabulary"`
+	Weighting     int                 `json:"weighting"`
+	TextKind      ClassifierKind      `json:"textKind"`
+	Text          json.RawMessage     `json:"text"`
+	Network       json.RawMessage     `json:"network"` // Gaussian NB
+	TrainOutbound map[string][]string `json:"trainOutbound"`
+	Seeds         map[string]float64  `json:"seeds"`
+}
+
+// Save serializes the trained verifier as JSON, so a model trained once
+// on reviewed ground truth can be shipped to reviewers and applied to
+// fresh crawls without re-training.
+func (v *Verifier) Save(w io.Writer) error {
+	vocab, err := json.Marshal(v.vocab)
+	if err != nil {
+		return fmt.Errorf("core: marshal vocabulary: %w", err)
+	}
+	text, err := marshalClassifier(v.text)
+	if err != nil {
+		return fmt.Errorf("core: marshal text model: %w", err)
+	}
+	network, err := marshalClassifier(v.netClf)
+	if err != nil {
+		return fmt.Errorf("core: marshal network model: %w", err)
+	}
+	return json.NewEncoder(w).Encode(verifierState{
+		Options:       v.opts,
+		Vocabulary:    vocab,
+		Weighting:     int(v.weightng),
+		TextKind:      v.opts.Classifier,
+		Text:          text,
+		Network:       network,
+		TrainOutbound: v.trainOutbound,
+		Seeds:         v.seeds,
+	})
+}
+
+// LoadVerifier restores a verifier persisted with Save.
+func LoadVerifier(r io.Reader) (*Verifier, error) {
+	var s verifierState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode verifier: %w", err)
+	}
+	vocab := &vectorize.Vocabulary{}
+	if err := json.Unmarshal(s.Vocabulary, vocab); err != nil {
+		return nil, err
+	}
+	text, err := unmarshalClassifier(s.TextKind, s.Text)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore text model: %w", err)
+	}
+	network, err := unmarshalClassifier(NB, s.Network)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore network model: %w", err)
+	}
+	return &Verifier{
+		opts:          s.Options,
+		vocab:         vocab,
+		weightng:      vectorize.Weighting(s.Weighting),
+		text:          text,
+		netClf:        network,
+		trainOutbound: s.TrainOutbound,
+		seeds:         s.Seeds,
+	}, nil
+}
+
+func marshalClassifier(c ml.Classifier) (json.RawMessage, error) {
+	m, ok := c.(json.Marshaler)
+	if !ok {
+		return nil, fmt.Errorf("classifier %T does not support serialization", c)
+	}
+	return m.MarshalJSON()
+}
+
+func unmarshalClassifier(kind ClassifierKind, data json.RawMessage) (ml.Classifier, error) {
+	var c ml.Classifier
+	switch kind {
+	case NBM:
+		c = bayes.NewMultinomial()
+	case NB:
+		c = bayes.NewGaussian()
+	case SVM:
+		c = svm.NewLinear()
+	case J48:
+		c = tree.NewC45()
+	case MLP:
+		c = mlp.New()
+	default:
+		return nil, fmt.Errorf("unknown classifier kind %q", kind)
+	}
+	u, ok := c.(json.Unmarshaler)
+	if !ok {
+		return nil, fmt.Errorf("classifier %T does not support deserialization", c)
+	}
+	if err := u.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

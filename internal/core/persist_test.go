@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVerifierSaveLoadRoundTrip(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	for _, kind := range []ClassifierKind{NBM, SVM, J48, MLP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			v, err := Train(snap, Options{Classifier: kind, Terms: 250, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := v.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := LoadVerifier(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			orig := v.Assess(snap.Pharmacies)
+			back := restored.Assess(snap.Pharmacies)
+			for i := range orig {
+				if orig[i].Legitimate != back[i].Legitimate {
+					t.Fatalf("pharmacy %s: verdict changed after reload", orig[i].Domain)
+				}
+				if diff := orig[i].TextProb - back[i].TextProb; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("pharmacy %s: text prob drifted %v", orig[i].Domain, diff)
+				}
+				if diff := orig[i].TrustScore - back[i].TrustScore; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("pharmacy %s: trust drifted %v", orig[i].Domain, diff)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadVerifierGarbage(t *testing.T) {
+	if _, err := LoadVerifier(bytes.NewBufferString("{oops")); err == nil {
+		t.Error("garbage must error")
+	}
+	if _, err := LoadVerifier(bytes.NewBufferString(`{"textKind":"NOPE","vocabulary":{},"text":{},"network":{}}`)); err == nil {
+		t.Error("unknown classifier kind must error")
+	}
+}
+
+func TestSaveUnfittedClassifiersRejected(t *testing.T) {
+	// A verifier always holds fitted models, but the underlying
+	// classifiers must refuse marshaling when unfitted — covered in
+	// their packages; here we just ensure Save produces valid JSON that
+	// LoadVerifier accepts repeatedly (idempotence).
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: SVM, Terms: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := v.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVerifier(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("save→load→save is not idempotent")
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ngram"
+)
+
+// RankConfig parameterizes the Online Pharmacy Ranking experiment
+// (Problem 2, §5 and §6.4).
+type RankConfig struct {
+	// Representation: TFIDF (default) or NGramGraphs (which uses the
+	// Equation-3 similarity sum instead of a classifier probability).
+	Representation Representation
+	// Classifier computes textRank for the TFIDF representation
+	// (default NBM). Per the paper, SVM contributes its hard 0/1 output.
+	Classifier ClassifierKind
+	// Sampling rebalances the text-classifier training set.
+	Sampling SamplingKind
+	// Terms, Folds, Seed as in TextConfig.
+	Terms int
+	Folds int
+	Seed  int64
+	// Network configures networkRank (TrustRank by default).
+	Network NetworkConfig
+}
+
+func (c RankConfig) withDefaults() RankConfig {
+	if c.Representation == "" {
+		c.Representation = TFIDF
+	}
+	if c.Classifier == "" {
+		c.Classifier = NBM
+	}
+	if c.Sampling == "" {
+		c.Sampling = NoSampling
+	}
+	if c.Folds == 0 {
+		c.Folds = 3
+	}
+	return c
+}
+
+// RankedPharmacy is one entry of the totally ordered set sought by
+// Problem 2.
+type RankedPharmacy struct {
+	Domain      string
+	Label       int
+	Score       float64 // rank(p) = textRank(p) + networkRank(p)
+	TextRank    float64
+	NetworkRank float64
+}
+
+// RankResult is the outcome of a cross-validated ranking run.
+type RankResult struct {
+	// Ranking pools every pharmacy's held-out score, sorted by
+	// decreasing legitimacy (index 0 is the most legitimate).
+	Ranking []RankedPharmacy
+	// PairwiseOrderedness is the pairord measure over the pooled
+	// held-out scores.
+	PairwiseOrderedness float64
+	// FoldPairord holds the per-fold pairord values.
+	FoldPairord []float64
+}
+
+// RankCV produces the paper's ranking evaluation: per cross-validation
+// fold, textRank comes from a classifier (or Equation 3) trained on the
+// fold's training data and networkRank from TrustRank seeded with the
+// training legitimate pharmacies; scores for the held-out pharmacies
+// are pooled into a full ranking.
+func RankCV(snap *dataset.Snapshot, cfg RankConfig) (RankResult, error) {
+	cfg = cfg.withDefaults()
+	labels := snap.Labels()
+	names := snap.Domains()
+
+	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
+	folds := eval.StratifiedKFold(labelDS, cfg.Folds, cfg.Seed)
+
+	var result RankResult
+	for f := range folds {
+		trainIdx, testIdx := folds.TrainTest(f)
+
+		textRanks, err := cfg.textRanks(snap, trainIdx)
+		if err != nil {
+			return RankResult{}, err
+		}
+		seeds := seedMap(snap, trainIdx, cfg.Network.Variant)
+		netScores, err := NetworkScores(snap, seeds, cfg.Network)
+		if err != nil {
+			return RankResult{}, err
+		}
+
+		var foldScores []float64
+		var foldLabels []int
+		for _, i := range testIdx {
+			score := textRanks[i] + netScores[i]
+			result.Ranking = append(result.Ranking, RankedPharmacy{
+				Domain:      names[i],
+				Label:       labels[i],
+				Score:       score,
+				TextRank:    textRanks[i],
+				NetworkRank: netScores[i],
+			})
+			foldScores = append(foldScores, score)
+			foldLabels = append(foldLabels, labels[i])
+		}
+		result.FoldPairord = append(result.FoldPairord, eval.PairwiseOrderedness(foldScores, foldLabels))
+	}
+
+	sort.SliceStable(result.Ranking, func(a, b int) bool {
+		if result.Ranking[a].Score != result.Ranking[b].Score {
+			return result.Ranking[a].Score > result.Ranking[b].Score
+		}
+		return result.Ranking[a].Domain < result.Ranking[b].Domain
+	})
+	scores := make([]float64, len(result.Ranking))
+	ls := make([]int, len(result.Ranking))
+	for i, r := range result.Ranking {
+		scores[i] = r.Score
+		ls[i] = r.Label
+	}
+	result.PairwiseOrderedness = eval.PairwiseOrderedness(scores, ls)
+	return result, nil
+}
+
+// textRanks computes textRank(p) for every pharmacy using a model
+// trained on trainIdx only.
+func (cfg RankConfig) textRanks(snap *dataset.Snapshot, trainIdx []int) ([]float64, error) {
+	if cfg.Representation == NGramGraphs {
+		return cfg.nggTextRanks(snap, trainIdx)
+	}
+	ds := TFIDFDataset(snap, TextConfig{
+		Classifier: cfg.Classifier,
+		Terms:      cfg.Terms,
+		Seed:       cfg.Seed,
+	})
+	clf, err := NewClassifier(cfg.Classifier, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's SVM textRank is the hard 0/1 class output.
+	if s, ok := clf.(interface{ SetCalibrate(bool) }); ok {
+		s.SetCalibrate(false)
+	}
+	train := ds.Subset(trainIdx)
+	smp, err := Sampler(cfg.Sampling)
+	if err != nil {
+		return nil, err
+	}
+	if smp != nil {
+		train = smp(train, rand.New(rand.NewSource(cfg.Seed+23)))
+	}
+	if err := clf.Fit(train); err != nil {
+		return nil, err
+	}
+	out := make([]float64, ds.Len())
+	for i, x := range ds.X {
+		out[i] = clf.Prob(x)
+	}
+	return out, nil
+}
+
+// nggTextRanks computes Equation (3): the sum of similarities to the
+// legitimate class graph plus complements of similarities to the
+// illegitimate class graph, scaled to [0,1] so that textRank and
+// networkRank contribute comparably.
+func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]float64, error) {
+	docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
+	labels := snap.Labels()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	perm := rng.Perm(len(trainIdx))
+	half := make([]int, 0, len(trainIdx)/2)
+	for _, p := range perm[:len(trainIdx)/2] {
+		half = append(half, trainIdx[p])
+	}
+	legitClass, illegitClass := nggClassGraphs(docs, labels, half)
+
+	out := make([]float64, len(docs))
+	parallelFor(len(docs), func(i int) {
+		g := ngram.FromDocument(docs[i])
+		out[i] = ngram.TextRank(g, legitClass, illegitClass) / 8
+	})
+	return out, nil
+}
+
+// Outliers extracts the paper's §6.4 outlier sets from a ranking: the
+// k illegitimate pharmacies ranked most legitimate (system foolers) and
+// the k legitimate pharmacies ranked least legitimate.
+func Outliers(ranking []RankedPharmacy, k int) (illegitHigh, legitLow []RankedPharmacy) {
+	for _, r := range ranking {
+		if r.Label == ml.Illegitimate && len(illegitHigh) < k {
+			illegitHigh = append(illegitHigh, r)
+		}
+	}
+	for i := len(ranking) - 1; i >= 0; i-- {
+		if ranking[i].Label == ml.Legitimate && len(legitLow) < k {
+			legitLow = append(legitLow, ranking[i])
+		}
+	}
+	return illegitHigh, legitLow
+}
+
+// DescribeRanking formats the top and bottom of a ranking for human
+// review (used by the CLI and examples).
+func DescribeRanking(ranking []RankedPharmacy, k int) string {
+	var b strings.Builder
+	b.WriteString("top (most legitimate):\n")
+	for i := 0; i < k && i < len(ranking); i++ {
+		r := ranking[i]
+		b.WriteString("  ")
+		b.WriteString(r.Domain)
+		b.WriteString(" score=")
+		b.WriteString(formatFloat(r.Score))
+		b.WriteString(" label=")
+		b.WriteString(ml.ClassName(r.Label))
+		b.WriteByte('\n')
+	}
+	b.WriteString("bottom (least legitimate):\n")
+	for i := len(ranking) - k; i < len(ranking); i++ {
+		if i < 0 {
+			continue
+		}
+		r := ranking[i]
+		b.WriteString("  ")
+		b.WriteString(r.Domain)
+		b.WriteString(" score=")
+		b.WriteString(formatFloat(r.Score))
+		b.WriteString(" label=")
+		b.WriteString(ml.ClassName(r.Label))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', 4, 64)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ngram"
+	"pharmaverify/internal/vectorize"
+)
+
+// TextConfig parameterizes a text-classification experiment (§6.3.1).
+type TextConfig struct {
+	// Representation: TFIDF (default) or NGramGraphs.
+	Representation Representation
+	// Classifier is the learner abbreviation (default SVM).
+	Classifier ClassifierKind
+	// Sampling rebalances the training folds (default NoSampling).
+	Sampling SamplingKind
+	// Terms is the summary subsample size; 0 means "All".
+	Terms int
+	// Folds is the cross-validation fold count (default 3, the paper's
+	// protocol).
+	Folds int
+	// Seed drives subsampling, fold assignment and learners.
+	Seed int64
+}
+
+func (c TextConfig) withDefaults() TextConfig {
+	if c.Representation == "" {
+		c.Representation = TFIDF
+	}
+	if c.Classifier == "" {
+		c.Classifier = SVM
+	}
+	if c.Sampling == "" {
+		c.Sampling = NoSampling
+	}
+	if c.Folds == 0 {
+		c.Folds = 3
+	}
+	return c
+}
+
+// TFIDFDataset vectorizes a snapshot with the Term Vector model:
+// raw counts for the multinomial Naïve Bayes classifier, L2-normalized
+// TF-IDF for everything else, over terms subsampled to cfg.Terms.
+func TFIDFDataset(snap *dataset.Snapshot, cfg TextConfig) *ml.Dataset {
+	cfg = cfg.withDefaults()
+	docs := snap.SubsampledTerms(cfg.Terms, cfg.Seed)
+	corpus := vectorize.NewCorpus(docs, snap.Labels(), snap.Domains())
+	w := vectorize.WeightTFIDF
+	if cfg.Classifier == NBM {
+		w = vectorize.WeightCounts
+	}
+	return corpus.Dataset(w)
+}
+
+// TextCV runs the paper's 3-fold cross-validated text classification
+// and returns the per-fold results.
+func TextCV(snap *dataset.Snapshot, cfg TextConfig) (eval.CVResult, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Representation {
+	case TFIDF:
+		return tfidfCV(snap, cfg)
+	case NGramGraphs:
+		return nggCV(snap, cfg)
+	default:
+		return eval.CVResult{}, fmt.Errorf("core: unknown representation %q", cfg.Representation)
+	}
+}
+
+func tfidfCV(snap *dataset.Snapshot, cfg TextConfig) (eval.CVResult, error) {
+	ds := TFIDFDataset(snap, cfg)
+	smp, err := Sampler(cfg.Sampling)
+	if err != nil {
+		return eval.CVResult{}, err
+	}
+	trainer := func() ml.Classifier {
+		clf, err := NewClassifier(cfg.Classifier, cfg.Seed)
+		if err != nil {
+			panic(err) // kind validated below before first use
+		}
+		return clf
+	}
+	if _, err := NewClassifier(cfg.Classifier, cfg.Seed); err != nil {
+		return eval.CVResult{}, err
+	}
+	return eval.CrossValidate(ds, cfg.Folds, cfg.Seed, trainer, smp)
+}
+
+// nggDocuments renders each pharmacy's (subsampled) terms back into a
+// single string for n-gram graph construction.
+func nggDocuments(snap *dataset.Snapshot, terms int, seed int64) []string {
+	sub := snap.SubsampledTerms(terms, seed)
+	docs := make([]string, len(sub))
+	for i, ts := range sub {
+		docs[i] = strings.Join(ts, " ")
+	}
+	return docs
+}
+
+// NGGFeatureDataset builds the 8-feature similarity dataset of Figure 2
+// for the given document texts, using class graphs merged from the
+// instances listed in classIdx (typically a random half of the training
+// fold, following the paper's protocol).
+func NGGFeatureDataset(docs []string, labels []int, names []string, classIdx []int) *ml.Dataset {
+	legitClass, illegitClass := nggClassGraphs(docs, labels, classIdx)
+
+	// Feature pass: document graphs are built, compared and discarded
+	// one at a time per worker, so memory stays bounded by the two
+	// class graphs plus one document graph per CPU regardless of corpus
+	// size.
+	ds := &ml.Dataset{Dim: 8}
+	feats := make([][]float64, len(docs))
+	parallelFor(len(docs), func(i int) {
+		g := ngram.FromDocument(docs[i])
+		feats[i] = ngram.Features(g, legitClass, illegitClass)
+	})
+	for i, f := range feats {
+		name := ""
+		if names != nil {
+			name = names[i]
+		}
+		ds.Add(ml.NewVector(f), labels[i], name)
+	}
+	return ds
+}
+
+// nggClassGraphs builds the per-class merged graphs from the instances
+// listed in classIdx, streaming one document graph at a time.
+func nggClassGraphs(docs []string, labels []int, classIdx []int) (legit, illegit *ngram.Graph) {
+	legit, illegit = ngram.New(), ngram.New()
+	for _, i := range classIdx {
+		g := ngram.FromDocument(docs[i])
+		if labels[i] == ml.Legitimate {
+			legit.Merge(g)
+		} else {
+			illegit.Merge(g)
+		}
+	}
+	return legit, illegit
+}
+
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// nggFoldData caches the per-fold N-Gram-Graph feature datasets, which
+// are identical for every classifier evaluated at the same (snapshot,
+// terms, folds, seed) — the expensive graph construction then runs once
+// per configuration rather than once per classifier.
+type nggFoldData struct {
+	folds eval.Folds
+	ds    []*ml.Dataset
+}
+
+var (
+	nggMemoMu sync.Mutex
+	nggMemo   = map[string]*nggFoldData{}
+)
+
+func nggFoldFeatures(snap *dataset.Snapshot, terms, foldCount int, seed int64) *nggFoldData {
+	key := fmt.Sprintf("%p|%d|%d|%d", snap, terms, foldCount, seed)
+	nggMemoMu.Lock()
+	if d, ok := nggMemo[key]; ok {
+		nggMemoMu.Unlock()
+		return d
+	}
+	nggMemoMu.Unlock()
+
+	docs := nggDocuments(snap, terms, seed)
+	labels := snap.Labels()
+	names := snap.Domains()
+	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
+	folds := eval.StratifiedKFold(labelDS, foldCount, seed)
+	rng := rand.New(rand.NewSource(seed + 17))
+
+	data := &nggFoldData{folds: folds}
+	for f := range folds {
+		trainIdx, _ := folds.TrainTest(f)
+		// Random half of the training instances builds the class graphs.
+		perm := rng.Perm(len(trainIdx))
+		half := make([]int, 0, len(trainIdx)/2)
+		for _, p := range perm[:len(trainIdx)/2] {
+			half = append(half, trainIdx[p])
+		}
+		data.ds = append(data.ds, NGGFeatureDataset(docs, labels, names, half))
+	}
+
+	nggMemoMu.Lock()
+	nggMemo[key] = data
+	nggMemoMu.Unlock()
+	return data
+}
+
+// nggCV cross-validates the N-Gram-Graph pipeline: per fold, the class
+// graphs are merged from a random half of the training instances and
+// every instance is represented by its 8 similarities to the two class
+// graphs; the classifier is trained on the training-fold features.
+// The paper does not use sampling with this representation.
+func nggCV(snap *dataset.Snapshot, cfg TextConfig) (eval.CVResult, error) {
+	if _, err := NewClassifier(cfg.Classifier, cfg.Seed); err != nil {
+		return eval.CVResult{}, err
+	}
+	labels := snap.Labels()
+	data := nggFoldFeatures(snap, cfg.Terms, cfg.Folds, cfg.Seed)
+	folds := data.folds
+
+	var res eval.CVResult
+	for f := range folds {
+		trainIdx, testIdx := folds.TrainTest(f)
+		ds := data.ds[f]
+
+		clf, err := NewClassifier(cfg.Classifier, cfg.Seed)
+		if err != nil {
+			return eval.CVResult{}, err
+		}
+		if err := clf.Fit(ds.Subset(trainIdx)); err != nil {
+			return eval.CVResult{}, err
+		}
+		fr := eval.FoldResult{TestIndex: testIdx}
+		for _, i := range testIdx {
+			p := clf.Prob(ds.X[i])
+			fr.Scores = append(fr.Scores, p)
+			fr.Labels = append(fr.Labels, labels[i])
+			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
+		}
+		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
+		res.Folds = append(res.Folds, fr)
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/trust"
+	"pharmaverify/internal/vectorize"
+)
+
+// Options configures a Verifier (the user-facing system combining the
+// classification and ranking pipelines).
+type Options struct {
+	// Classifier for the text model (default SVM, the paper's best
+	// single text classifier).
+	Classifier ClassifierKind
+	// Terms subsamples summaries before vectorization (0 = all terms).
+	Terms int
+	// Sampling rebalances training (default NoSampling).
+	Sampling SamplingKind
+	// Seed drives all randomness.
+	Seed int64
+	// Network configures the trust computation.
+	Network NetworkConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Classifier == "" {
+		o.Classifier = SVM
+	}
+	if o.Sampling == "" {
+		o.Sampling = NoSampling
+	}
+	return o
+}
+
+// Verifier is a trained internet-pharmacy verification system: a text
+// classifier over the training vocabulary plus a TrustRank network
+// model seeded with the known legitimate pharmacies. It solves OPC via
+// Classify-style probabilities and OPR via Rank.
+type Verifier struct {
+	opts     Options
+	vocab    *vectorize.Vocabulary
+	weightng vectorize.Weighting
+	text     ml.Classifier
+	netClf   ml.Classifier
+	// Training link structure and seeds, for scoring new pharmacies.
+	trainOutbound map[string][]string
+	seeds         map[string]float64
+}
+
+// Assessment is the verdict for one pharmacy.
+type Assessment struct {
+	Domain string
+	// Legitimate is the OPC decision.
+	Legitimate bool
+	// TextProb is the text model's P(legitimate).
+	TextProb float64
+	// TrustScore is the TrustRank value (networkRank).
+	TrustScore float64
+	// NetworkProb is the network classifier's P(legitimate).
+	NetworkProb float64
+	// Rank is the OPR score: textRank + networkRank.
+	Rank float64
+}
+
+// ErrNoTraining is returned when Train receives an empty snapshot.
+var ErrNoTraining = errors.New("core: empty training snapshot")
+
+// Train builds a Verifier from a labeled snapshot.
+func Train(snap *dataset.Snapshot, opts Options) (*Verifier, error) {
+	opts = opts.withDefaults()
+	if snap.Len() == 0 {
+		return nil, ErrNoTraining
+	}
+
+	docs := snap.SubsampledTerms(opts.Terms, opts.Seed)
+	corpus := vectorize.NewCorpus(docs, snap.Labels(), snap.Domains())
+	weighting := vectorize.WeightTFIDF
+	if opts.Classifier == NBM {
+		weighting = vectorize.WeightCounts
+	}
+	ds := corpus.Dataset(weighting)
+
+	smp, err := Sampler(opts.Sampling)
+	if err != nil {
+		return nil, err
+	}
+	if smp != nil {
+		ds = smp(ds, rand.New(rand.NewSource(opts.Seed+41)))
+	}
+
+	text, err := NewClassifier(opts.Classifier, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The verifier wants graded textRank scores: give the SVM its Platt
+	// calibration back (experiments keep Weka-parity discrete outputs).
+	if s, ok := text.(interface{ SetCalibrate(bool) }); ok {
+		s.SetCalibrate(true)
+	}
+	if err := text.Fit(ds); err != nil {
+		return nil, err
+	}
+
+	v := &Verifier{
+		opts:          opts,
+		vocab:         corpus.Vocab,
+		weightng:      weighting,
+		text:          text,
+		trainOutbound: snap.Outbound(),
+		seeds:         make(map[string]float64),
+	}
+	for _, p := range snap.Pharmacies {
+		if p.Label == ml.Legitimate {
+			v.seeds[p.Domain] = 1
+		}
+	}
+
+	// Network classifier trained on the training pharmacies' own trust
+	// scores.
+	trainScores, err := NetworkScores(snap, v.seeds, opts.Network)
+	if err != nil {
+		return nil, err
+	}
+	netClf, err := NewClassifier(NB, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	netDS := scoreDataset(trainScores, snap.Labels(), snap.Domains())
+	if err := netClf.Fit(netDS); err != nil {
+		return nil, err
+	}
+	v.netClf = netClf
+	return v, nil
+}
+
+// Assess scores a batch of (typically unlabeled) pharmacies. The link
+// graph is rebuilt over the training pharmacies plus the batch so that
+// trust propagates through shared endpoints; text probabilities use the
+// frozen training vocabulary and model.
+func (v *Verifier) Assess(pharmacies []dataset.Pharmacy) []Assessment {
+	outbound := make(map[string][]string, len(v.trainOutbound)+len(pharmacies))
+	for d, eps := range v.trainOutbound {
+		outbound[d] = eps
+	}
+	for _, p := range pharmacies {
+		outbound[p.Domain] = p.Outbound
+	}
+	g := trust.BuildGraph(outbound)
+	cfgVariant := v.opts.Network.withDefaults().Variant
+	var sg *trust.Graph
+	if cfgVariant == TrustRankDirected {
+		sg = g
+	} else {
+		sg = g.Undirected()
+	}
+	values := trust.TrustRank(sg, v.seeds, v.opts.Network.Trust)
+	scores := trust.NewScores(sg, values)
+
+	out := make([]Assessment, len(pharmacies))
+	for i, p := range pharmacies {
+		var x ml.Vector
+		if v.weightng == vectorize.WeightCounts {
+			x = v.vocab.Counts(p.Terms)
+		} else {
+			x = v.vocab.TFIDF(p.Terms)
+		}
+		textProb := v.text.Prob(x)
+		ts := scores.Of(p.Domain)
+		netProb := v.netClf.Prob(ml.NewVector([]float64{ts}))
+		out[i] = Assessment{
+			Domain:      p.Domain,
+			Legitimate:  (textProb+netProb)/2 >= 0.5,
+			TextProb:    textProb,
+			TrustScore:  ts,
+			NetworkProb: netProb,
+			Rank:        textProb + ts,
+		}
+	}
+	return out
+}
+
+// RankAssessments sorts assessments by decreasing legitimacy score,
+// producing the totally ordered set of Problem 2.
+func RankAssessments(as []Assessment) []Assessment {
+	out := append([]Assessment(nil), as...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank > out[j].Rank
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}

@@ -1,0 +1,283 @@
+// Package crawler implements the site crawler used to collect pharmacy
+// content, standing in for the crawler4j setup of the paper: each
+// domain is crawled breadth-first without a depth limit but with a cap
+// of 200 pages (the paper's configuration), collecting per-page visible
+// text and both internal and external links.
+//
+// The crawler is generic over a Fetcher, so it runs against the
+// synthetic web of internal/webgen in experiments and against live HTTP
+// (HTTPFetcher) when pointed at the real internet.
+package crawler
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pharmaverify/internal/htmlx"
+)
+
+// DefaultMaxPages is the per-domain page cap from the paper.
+const DefaultMaxPages = 200
+
+// Fetcher retrieves one page of a domain. Implementations must be safe
+// for concurrent use.
+type Fetcher interface {
+	Fetch(domain, path string) (html string, err error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(domain, path string) (string, error)
+
+// Fetch calls f.
+func (f FetcherFunc) Fetch(domain, path string) (string, error) { return f(domain, path) }
+
+// Config controls a crawl.
+type Config struct {
+	// MaxPages caps pages fetched per domain (default 200).
+	MaxPages int
+	// Workers is the number of concurrent fetches per domain
+	// (default 4).
+	Workers int
+	// UserAgent identifies the crawler to robots.txt policies
+	// (default "pharmaverify").
+	UserAgent string
+	// IgnoreRobots disables robots.txt processing. By default the
+	// crawler fetches /robots.txt first and honors Disallow rules, as
+	// crawler4j does.
+	IgnoreRobots bool
+	// Delay inserts a politeness pause before every page fetch
+	// (crawler4j's politenessDelay). Zero means no delay — appropriate
+	// for the synthetic web; set ~200ms+ for live crawls.
+	Delay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPages == 0 {
+		c.MaxPages = DefaultMaxPages
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "pharmaverify"
+	}
+	return c
+}
+
+// Page is one crawled page.
+type Page struct {
+	Path  string
+	Title string
+	Text  string
+	Links []string
+}
+
+// Result is the outcome of crawling one domain.
+type Result struct {
+	Domain string
+	// Pages is sorted by path for deterministic downstream processing.
+	Pages []Page
+	// External holds the raw external link URLs found anywhere on the
+	// site, deduplicated, sorted.
+	External []string
+	// Fetched and Failed count page fetch attempts.
+	Fetched, Failed int
+}
+
+// Text returns the merged text of all pages (the summarization input).
+func (r Result) Text() []string {
+	out := make([]string, len(r.Pages))
+	for i, p := range r.Pages {
+		out[i] = p.Text
+	}
+	return out
+}
+
+// Crawl fetches one domain breadth-first starting from "/". Unless
+// Config.IgnoreRobots is set, /robots.txt is consulted first and
+// disallowed paths are skipped (a missing robots.txt allows all).
+func Crawl(f Fetcher, domain string, cfg Config) Result {
+	cfg = cfg.withDefaults()
+
+	var robots *Robots
+	if !cfg.IgnoreRobots {
+		if body, err := f.Fetch(domain, "/robots.txt"); err == nil {
+			robots = ParseRobots(body)
+		}
+	}
+	allowed := func(path string) bool {
+		return robots.Allowed(cfg.UserAgent, path)
+	}
+	if !allowed("/") {
+		return Result{Domain: domain}
+	}
+
+	var (
+		mu       sync.Mutex
+		seen     = map[string]bool{"/": true}
+		frontier = []string{"/"}
+		inFlight int
+		pages    []Page
+		external = map[string]bool{}
+		failed   int
+		cond     = sync.NewCond(&mu)
+	)
+
+	worker := func() {
+		for {
+			mu.Lock()
+			for len(frontier) == 0 && inFlight > 0 {
+				cond.Wait()
+			}
+			if len(frontier) == 0 || len(pages) >= cfg.MaxPages {
+				mu.Unlock()
+				return
+			}
+			path := frontier[0]
+			frontier = frontier[1:]
+			inFlight++
+			mu.Unlock()
+
+			if cfg.Delay > 0 {
+				time.Sleep(cfg.Delay)
+			}
+			html, err := f.Fetch(domain, path)
+
+			mu.Lock()
+			inFlight--
+			if err != nil {
+				failed++
+				cond.Broadcast()
+				mu.Unlock()
+				continue
+			}
+			if len(pages) >= cfg.MaxPages {
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			pg := htmlx.Parse(html)
+			pages = append(pages, Page{Path: path, Title: pg.Title, Text: pg.Text, Links: pg.Links})
+			for _, link := range pg.Links {
+				if ip, ok := internalPath(link, domain); ok {
+					if !allowed(ip) {
+						continue
+					}
+					if !seen[ip] && len(seen) < 4*cfg.MaxPages {
+						seen[ip] = true
+						frontier = append(frontier, ip)
+					}
+				} else if isExternal(link) {
+					external[link] = true
+				}
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Path < pages[j].Path })
+	ext := make([]string, 0, len(external))
+	for l := range external {
+		ext = append(ext, l)
+	}
+	sort.Strings(ext)
+	return Result{
+		Domain:   domain,
+		Pages:    pages,
+		External: ext,
+		Fetched:  len(pages),
+		Failed:   failed,
+	}
+}
+
+// CrawlAll crawls many domains concurrently (parallel controls the
+// number of simultaneous domain crawls; 0 means 8) and returns results
+// keyed by domain.
+func CrawlAll(f Fetcher, domains []string, cfg Config, parallel int) map[string]Result {
+	if parallel <= 0 {
+		parallel = 8
+	}
+	results := make(map[string]Result, len(domains))
+	var mu sync.Mutex
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for _, d := range domains {
+		wg.Add(1)
+		go func(domain string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			r := Crawl(f, domain, cfg)
+			<-sem
+			mu.Lock()
+			results[domain] = r
+			mu.Unlock()
+		}(d)
+	}
+	wg.Wait()
+	return results
+}
+
+// internalPath resolves a link against the crawled domain. It accepts
+// site-relative paths ("/x"), same-document-relative names ("page2"),
+// and absolute URLs whose host is the domain or its www alias, and
+// returns the normalized path.
+func internalPath(link, domain string) (string, bool) {
+	switch {
+	case link == "" || strings.HasPrefix(link, "#") ||
+		strings.HasPrefix(link, "mailto:") || strings.HasPrefix(link, "javascript:") ||
+		strings.HasPrefix(link, "tel:"):
+		return "", false
+	case strings.HasPrefix(link, "//"):
+		link = "http:" + link
+	}
+	if i := strings.Index(link, "://"); i >= 0 {
+		rest := link[i+3:]
+		var host, path string
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			host, path = rest[:j], rest[j:]
+		} else {
+			host, path = rest, "/"
+		}
+		if k := strings.IndexByte(host, ':'); k >= 0 {
+			host = host[:k]
+		}
+		host = strings.ToLower(host)
+		if host == domain || host == "www."+domain {
+			return splitFragment(path), true
+		}
+		return "", false
+	}
+	if strings.HasPrefix(link, "/") {
+		return splitFragment(link), true
+	}
+	// Bare relative name: resolve against the site root.
+	return splitFragment("/" + link), true
+}
+
+func splitFragment(p string) string {
+	if i := strings.IndexByte(p, '#'); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		p = "/"
+	}
+	return p
+}
+
+// isExternal reports whether a link points at another host.
+func isExternal(link string) bool {
+	return strings.Contains(link, "://") || strings.HasPrefix(link, "//")
+}

@@ -1,0 +1,220 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pharmaverify/internal/webgen"
+)
+
+// mapFetcher serves pages from a map keyed by domain|path.
+type mapFetcher map[string]string
+
+func (m mapFetcher) Fetch(domain, path string) (string, error) {
+	if html, ok := m[domain+"|"+path]; ok {
+		return html, nil
+	}
+	return "", errors.New("404")
+}
+
+func TestCrawlFollowsInternalLinks(t *testing.T) {
+	f := mapFetcher{
+		"x.com|/":  `<a href="/a">a</a><a href="/b">b</a><p>root</p>`,
+		"x.com|/a": `<a href="/c">c</a><p>page a</p>`,
+		"x.com|/b": `<p>page b</p>`,
+		"x.com|/c": `<p>page c</p><a href="http://other.com/x">ext</a>`,
+	}
+	r := Crawl(f, "x.com", Config{})
+	if len(r.Pages) != 4 {
+		t.Fatalf("pages = %d, want 4", len(r.Pages))
+	}
+	if r.Pages[0].Path != "/" { // sorted: "/", "/a", "/b", "/c"
+		t.Errorf("pages not sorted: %v", r.Pages[0].Path)
+	}
+	if !reflect.DeepEqual(r.External, []string{"http://other.com/x"}) {
+		t.Errorf("External = %v", r.External)
+	}
+	if r.Fetched != 4 || r.Failed != 0 {
+		t.Errorf("counters: %d fetched, %d failed", r.Fetched, r.Failed)
+	}
+}
+
+func TestCrawlMaxPages(t *testing.T) {
+	// A chain of 50 pages with a cap of 10.
+	f := mapFetcher{}
+	for i := 0; i < 50; i++ {
+		f[fmt.Sprintf("x.com|/p%d", i)] = fmt.Sprintf(`<a href="/p%d">next</a><p>n</p>`, i+1)
+	}
+	f["x.com|/"] = `<a href="/p0">start</a>`
+	r := Crawl(f, "x.com", Config{MaxPages: 10})
+	if len(r.Pages) > 10 {
+		t.Errorf("crawled %d pages, cap 10", len(r.Pages))
+	}
+}
+
+func TestCrawlHandlesFetchErrors(t *testing.T) {
+	f := mapFetcher{
+		"x.com|/": `<a href="/missing">gone</a><p>root</p>`,
+	}
+	r := Crawl(f, "x.com", Config{})
+	if r.Failed != 1 || r.Fetched != 1 {
+		t.Errorf("fetched=%d failed=%d", r.Fetched, r.Failed)
+	}
+}
+
+func TestCrawlDeduplicatesPaths(t *testing.T) {
+	calls := int32(0)
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		if path == "/robots.txt" {
+			return "", errors.New("404")
+		}
+		atomic.AddInt32(&calls, 1)
+		return `<a href="/">home</a><a href="/">again</a><p>x</p>`, nil
+	})
+	r := Crawl(f, "x.com", Config{})
+	if len(r.Pages) != 1 {
+		t.Errorf("pages = %d", len(r.Pages))
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("fetch called %d times for one unique path", calls)
+	}
+}
+
+func TestCrawlAbsoluteInternalAndWWW(t *testing.T) {
+	f := mapFetcher{
+		"x.com|/":  `<a href="http://x.com/a">a</a><a href="http://www.x.com/b">b</a><p>.</p>`,
+		"x.com|/a": `<p>a</p>`,
+		"x.com|/b": `<p>b</p>`,
+	}
+	r := Crawl(f, "x.com", Config{})
+	if len(r.Pages) != 3 {
+		t.Errorf("pages = %d, want 3 (absolute internal links followed)", len(r.Pages))
+	}
+	if len(r.External) != 0 {
+		t.Errorf("own-domain absolute links recorded as external: %v", r.External)
+	}
+}
+
+func TestCrawlFragmentsAndSchemesIgnored(t *testing.T) {
+	f := mapFetcher{
+		"x.com|/":  `<a href="#top">top</a><a href="mailto:[email protected]">m</a><a href="/a#frag">a</a><p>.</p>`,
+		"x.com|/a": `<p>a</p>`,
+	}
+	r := Crawl(f, "x.com", Config{})
+	if len(r.Pages) != 2 {
+		t.Errorf("pages = %d, want 2", len(r.Pages))
+	}
+}
+
+func TestInternalPath(t *testing.T) {
+	cases := []struct {
+		link, domain, want string
+		ok                 bool
+	}{
+		{"/about", "x.com", "/about", true},
+		{"about", "x.com", "/about", true},
+		{"http://x.com/a", "x.com", "/a", true},
+		{"http://www.x.com/a", "x.com", "/a", true},
+		{"http://x.com", "x.com", "/", true},
+		{"http://x.com:8080/a", "x.com", "/a", true},
+		{"http://other.com/a", "x.com", "", false},
+		{"//x.com/a", "x.com", "/a", true},
+		{"#frag", "x.com", "", false},
+		{"", "x.com", "", false},
+	}
+	for _, c := range cases {
+		got, ok := internalPath(c.link, c.domain)
+		if got != c.want || ok != c.ok {
+			t.Errorf("internalPath(%q,%q) = %q,%v want %q,%v", c.link, c.domain, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCrawlSyntheticWorld(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 1, NumLegit: 3, NumIllegit: 6, NetworkSize: 3})
+	d := w.Domains()[0]
+	r := Crawl(w, d, Config{})
+	if len(r.Pages) != len(w.Site(d).Paths) {
+		t.Errorf("crawled %d pages, site has %d", len(r.Pages), len(w.Site(d).Paths))
+	}
+	if len(r.External) == 0 {
+		t.Error("no external links found on synthetic site")
+	}
+	for _, p := range r.Pages {
+		if p.Text == "" {
+			t.Errorf("page %s has no text", p.Path)
+		}
+	}
+}
+
+func TestCrawlAll(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 2, NumLegit: 4, NumIllegit: 8, NetworkSize: 4})
+	domains := w.Domains()
+	results := CrawlAll(w, domains, Config{}, 4)
+	if len(results) != len(domains) {
+		t.Fatalf("results = %d, want %d", len(results), len(domains))
+	}
+	for _, d := range domains {
+		if results[d].Fetched == 0 {
+			t.Errorf("domain %s: nothing fetched", d)
+		}
+	}
+}
+
+func TestCrawlDeterministicAcrossWorkerCounts(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 3, NumLegit: 2, NumIllegit: 4, NetworkSize: 2})
+	d := w.Domains()[0]
+	a := Crawl(w, d, Config{Workers: 1})
+	b := Crawl(w, d, Config{Workers: 8})
+	if !reflect.DeepEqual(a.Pages, b.Pages) || !reflect.DeepEqual(a.External, b.External) {
+		t.Error("crawl output depends on worker count")
+	}
+}
+
+func TestHTTPFetcher(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			fmt.Fprint(w, `<title>srv</title><a href="/a">a</a>`)
+		case "/a":
+			fmt.Fprint(w, `<p>page a</p>`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	domain := strings.TrimPrefix(srv.URL, "http://")
+
+	h := &HTTPFetcher{}
+	html, err := h.Fetch(domain, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "srv") {
+		t.Errorf("body = %q", html)
+	}
+	if _, err := h.Fetch(domain, "/missing"); err == nil {
+		t.Error("404 must be an error")
+	}
+
+	r := Crawl(h, domain, Config{MaxPages: 5})
+	if len(r.Pages) != 2 {
+		t.Errorf("HTTP crawl pages = %d, want 2", len(r.Pages))
+	}
+}
+
+func BenchmarkCrawlSite(b *testing.B) {
+	w := webgen.Generate(webgen.Config{Seed: 42, NumLegit: 1, NumIllegit: 1, NetworkSize: 1, MinPages: 18, MaxPages: 18})
+	d := w.Domains()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Crawl(w, d, Config{})
+	}
+}

@@ -1,0 +1,66 @@
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPFetcher fetches pages over live HTTP, for running the pipeline
+// against the real web. Experiments in this repository use the
+// synthetic webgen.World instead; this type exists so the crawler is a
+// drop-in crawler4j replacement outside the simulation.
+type HTTPFetcher struct {
+	// Client is the HTTP client to use (default: 10 s timeout).
+	Client *http.Client
+	// Scheme is "http" or "https" (default "http", matching the
+	// paper-era crawls).
+	Scheme string
+	// MaxBodyBytes caps each response body (default 1 MiB).
+	MaxBodyBytes int64
+	// UserAgent is sent with every request.
+	UserAgent string
+}
+
+// Fetch implements Fetcher.
+func (h *HTTPFetcher) Fetch(domain, path string) (string, error) {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	scheme := h.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	maxBody := h.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = 1 << 20
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	req, err := http.NewRequest(http.MethodGet, scheme+"://"+domain+path, nil)
+	if err != nil {
+		return "", fmt.Errorf("crawler: build request: %w", err)
+	}
+	if h.UserAgent != "" {
+		req.Header.Set("User-Agent", h.UserAgent)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("crawler: fetch %s%s: %w", domain, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: fetch %s%s: status %d", domain, path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", fmt.Errorf("crawler: read %s%s: %w", domain, path, err)
+	}
+	return string(body), nil
+}
+
+var _ Fetcher = (*HTTPFetcher)(nil)

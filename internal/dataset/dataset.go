@@ -1,0 +1,198 @@
+// Package dataset defines the labeled pharmacy snapshots the
+// experiments run on: for each pharmacy, the preprocessed terms of its
+// summarized crawl and its outbound endpoint domains, plus the class
+// label from the oracle (the paper's manually-labeled PharmaVerComp
+// ground truth; here, the synthetic generator's labels).
+//
+// A Snapshot corresponds to one crawl epoch — the paper's Dataset 1 and
+// Dataset 2, collected six months apart.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/textproc"
+	"pharmaverify/internal/trust"
+)
+
+// Pharmacy is one labeled, crawled pharmacy website.
+type Pharmacy struct {
+	Domain string `json:"domain"`
+	// Label is ml.Legitimate or ml.Illegitimate.
+	Label int `json:"label"`
+	// Terms is the stop-word-filtered token stream of the summary
+	// document (all crawled pages merged).
+	Terms []string `json:"terms"`
+	// Outbound lists the distinct second-level endpoint domains the
+	// site links to (Algorithm 1 input).
+	Outbound []string `json:"outbound"`
+	// Pages is the number of pages crawled.
+	Pages int `json:"pages"`
+}
+
+// AuxSite is a crawled non-pharmacy website (e.g. a health portal or a
+// review directory) whose outbound links point at pharmacies — the
+// richer network input of the paper's future work (a). Auxiliary sites
+// carry no class label and no text features; only their link structure
+// participates in the network analysis.
+type AuxSite struct {
+	Domain   string   `json:"domain"`
+	Outbound []string `json:"outbound"`
+	Pages    int      `json:"pages"`
+}
+
+// Snapshot is a labeled crawl of many pharmacies at one point in time,
+// optionally accompanied by auxiliary (non-pharmacy) link sources.
+type Snapshot struct {
+	Name       string     `json:"name"`
+	Pharmacies []Pharmacy `json:"pharmacies"`
+	Aux        []AuxSite  `json:"aux,omitempty"`
+}
+
+// Build crawls every domain through the fetcher, preprocesses the text
+// (summarization + stop-word removal, no stemming) and extracts the
+// outbound endpoints. labels must contain every domain.
+func Build(name string, f crawler.Fetcher, domains []string, labels map[string]int, cfg crawler.Config, parallel int) (*Snapshot, error) {
+	return BuildWithAux(name, f, domains, labels, nil, cfg, parallel)
+}
+
+// BuildWithAux is Build plus a set of auxiliary non-pharmacy domains
+// whose outbound links are collected into Snapshot.Aux.
+func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[string]int, auxDomains []string, cfg crawler.Config, parallel int) (*Snapshot, error) {
+	for _, d := range domains {
+		if _, ok := labels[d]; !ok {
+			return nil, fmt.Errorf("dataset: no label for domain %q", d)
+		}
+	}
+	results := crawler.CrawlAll(f, domains, cfg, parallel)
+	pre := textproc.NewPreprocessor()
+
+	snap := &Snapshot{Name: name}
+	for _, d := range domains {
+		r := results[d]
+		summary := textproc.Summarize(r.Text())
+		snap.Pharmacies = append(snap.Pharmacies, Pharmacy{
+			Domain:   d,
+			Label:    labels[d],
+			Terms:    pre.Terms(summary),
+			Outbound: trust.OutboundEndpoints(r.External, d),
+			Pages:    len(r.Pages),
+		})
+	}
+	sort.Slice(snap.Pharmacies, func(i, j int) bool {
+		return snap.Pharmacies[i].Domain < snap.Pharmacies[j].Domain
+	})
+
+	if len(auxDomains) > 0 {
+		auxResults := crawler.CrawlAll(f, auxDomains, cfg, parallel)
+		for _, d := range auxDomains {
+			r := auxResults[d]
+			snap.Aux = append(snap.Aux, AuxSite{
+				Domain:   d,
+				Outbound: trust.OutboundEndpoints(r.External, d),
+				Pages:    len(r.Pages),
+			})
+		}
+		sort.Slice(snap.Aux, func(i, j int) bool { return snap.Aux[i].Domain < snap.Aux[j].Domain })
+	}
+	return snap, nil
+}
+
+// AuxOutbound returns auxiliary-domain → outbound endpoints.
+func (s *Snapshot) AuxOutbound() map[string][]string {
+	m := make(map[string][]string, len(s.Aux))
+	for _, a := range s.Aux {
+		m[a.Domain] = a.Outbound
+	}
+	return m
+}
+
+// Len reports the number of pharmacies.
+func (s *Snapshot) Len() int { return len(s.Pharmacies) }
+
+// Counts returns the number of legitimate and illegitimate pharmacies
+// (the paper's Table 1 row).
+func (s *Snapshot) Counts() (legit, illegit int) {
+	for _, p := range s.Pharmacies {
+		if p.Label == ml.Legitimate {
+			legit++
+		} else {
+			illegit++
+		}
+	}
+	return legit, illegit
+}
+
+// Labels returns the parallel label slice.
+func (s *Snapshot) Labels() []int {
+	y := make([]int, len(s.Pharmacies))
+	for i, p := range s.Pharmacies {
+		y[i] = p.Label
+	}
+	return y
+}
+
+// Domains returns the parallel domain slice.
+func (s *Snapshot) Domains() []string {
+	d := make([]string, len(s.Pharmacies))
+	for i, p := range s.Pharmacies {
+		d[i] = p.Domain
+	}
+	return d
+}
+
+// Outbound returns domain → outbound endpoints, the input of the
+// network graph construction.
+func (s *Snapshot) Outbound() map[string][]string {
+	m := make(map[string][]string, len(s.Pharmacies))
+	for _, p := range s.Pharmacies {
+		m[p.Domain] = p.Outbound
+	}
+	return m
+}
+
+// SubsampledTerms returns each pharmacy's terms randomly subsampled to
+// k terms (k=0 keeps everything), with a deterministic per-pharmacy
+// stream derived from seed — the paper's 100/250/1000/2000-term
+// experiment inputs.
+func (s *Snapshot) SubsampledTerms(k int, seed int64) [][]string {
+	out := make([][]string, len(s.Pharmacies))
+	for i, p := range s.Pharmacies {
+		rng := rand.New(rand.NewSource(seed + int64(i)*2654435761))
+		out[i] = textproc.Subsample(p.Terms, k, rng)
+	}
+	return out
+}
+
+// IllegitDomainSet returns the set of illegitimate domains, used to
+// check the paper's disjointness property between snapshots.
+func (s *Snapshot) IllegitDomainSet() map[string]bool {
+	m := make(map[string]bool)
+	for _, p := range s.Pharmacies {
+		if p.Label == ml.Illegitimate {
+			m[p.Domain] = true
+		}
+	}
+	return m
+}
+
+// Save serializes the snapshot as JSON.
+func (s *Snapshot) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Load deserializes a snapshot saved with Save.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("dataset: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"pharmaverify/internal/ml"
+)
+
+// Folds holds the instance indices of each cross-validation fold.
+type Folds [][]int
+
+// StratifiedKFold partitions the instances of ds into k folds that
+// preserve the class distribution, shuffled with the given seed. The
+// paper uses k=3 ("two folds for training and the third for testing").
+func StratifiedKFold(ds *ml.Dataset, k int, seed int64) Folds {
+	if k < 2 {
+		panic("eval: k must be >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, y := range ds.Y {
+		if y == ml.Legitimate {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+
+	folds := make(Folds, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// TrainTest returns the training indices (all folds but f) and the test
+// indices (fold f).
+func (fs Folds) TrainTest(f int) (train, test []int) {
+	for i, fold := range fs {
+		if i == f {
+			test = append(test, fold...)
+		} else {
+			train = append(train, fold...)
+		}
+	}
+	return train, test
+}
+
+// FoldResult is the outcome of evaluating one CV fold.
+type FoldResult struct {
+	Confusion Confusion
+	AUC       float64
+	// Scores/Labels are the per-instance legitimate-class scores and
+	// true labels on the test fold, retained for ranking analyses.
+	Scores []float64
+	Labels []int
+	// TestIndex maps positions in Scores back to dataset indices.
+	TestIndex []int
+}
+
+// CVResult aggregates fold results.
+type CVResult struct {
+	Folds []FoldResult
+}
+
+// Metric extracts one number from a fold (for mean/CI aggregation).
+type Metric func(FoldResult) float64
+
+// Standard metrics over folds.
+var (
+	MetricAccuracy             Metric = func(f FoldResult) float64 { return f.Confusion.Accuracy() }
+	MetricAUC                  Metric = func(f FoldResult) float64 { return f.AUC }
+	MetricLegitPrecision       Metric = func(f FoldResult) float64 { return f.Confusion.PrecisionLegitimate() }
+	MetricLegitRecall          Metric = func(f FoldResult) float64 { return f.Confusion.RecallLegitimate() }
+	MetricIllegitPrecision     Metric = func(f FoldResult) float64 { return f.Confusion.PrecisionIllegitimate() }
+	MetricIllegitRecall        Metric = func(f FoldResult) float64 { return f.Confusion.RecallIllegitimate() }
+	MetricF1Legit              Metric = func(f FoldResult) float64 { return f.Confusion.F1Legitimate() }
+	MetricFalsePositiveRate    Metric = func(f FoldResult) float64 { return f.Confusion.FalsePositiveRate() }
+	MetricPairwiseOrderedness  Metric = func(f FoldResult) float64 { return PairwiseOrderedness(f.Scores, f.Labels) }
+	MetricLegitClassifiedCount Metric = func(f FoldResult) float64 { return float64(f.Confusion.TP + f.Confusion.FP) }
+)
+
+// Mean returns the across-fold mean of a metric.
+func (r CVResult) Mean(m Metric) float64 {
+	vals := r.values(m)
+	mean, _ := MeanStd(vals)
+	return mean
+}
+
+// CI95 returns the across-fold 95% confidence half-width of a metric.
+func (r CVResult) CI95(m Metric) float64 {
+	return ConfidenceInterval95(r.values(m))
+}
+
+// Pooled returns the confusion matrix summed over all folds.
+func (r CVResult) Pooled() Confusion {
+	var c Confusion
+	for _, f := range r.Folds {
+		c.TP += f.Confusion.TP
+		c.FN += f.Confusion.FN
+		c.FP += f.Confusion.FP
+		c.TN += f.Confusion.TN
+	}
+	return c
+}
+
+// PooledAUC computes AUC over the union of all fold scores.
+func (r CVResult) PooledAUC() float64 {
+	var scores []float64
+	var labels []int
+	for _, f := range r.Folds {
+		scores = append(scores, f.Scores...)
+		labels = append(labels, f.Labels...)
+	}
+	return AUC(scores, labels)
+}
+
+func (r CVResult) values(m Metric) []float64 {
+	vals := make([]float64, len(r.Folds))
+	for i, f := range r.Folds {
+		vals[i] = m(f)
+	}
+	return vals
+}
+
+// Trainer produces a fresh classifier for each fold; Sampler optionally
+// rebalances the training split (nil means the natural distribution).
+type Trainer func() ml.Classifier
+
+// Sampler rebalances a training set (undersampling, SMOTE, ...).
+type Sampler func(*ml.Dataset, *rand.Rand) *ml.Dataset
+
+// CrossValidate runs stratified k-fold cross-validation of the trainer
+// on ds. The sampler (if non-nil) is applied to each training split
+// only; the test split always keeps the natural distribution, matching
+// the paper's protocol.
+func CrossValidate(ds *ml.Dataset, k int, seed int64, train Trainer, sample Sampler) (CVResult, error) {
+	folds := StratifiedKFold(ds, k, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var res CVResult
+	for f := range folds {
+		trainIdx, testIdx := folds.TrainTest(f)
+		trainSet := ds.Subset(trainIdx)
+		if sample != nil {
+			trainSet = sample(trainSet, rng)
+		}
+		clf := train()
+		if err := clf.Fit(trainSet); err != nil {
+			return CVResult{}, err
+		}
+		fr := FoldResult{TestIndex: testIdx}
+		for _, i := range testIdx {
+			p := clf.Prob(ds.X[i])
+			fr.Scores = append(fr.Scores, p)
+			fr.Labels = append(fr.Labels, ds.Y[i])
+			fr.Confusion.Observe(ds.Y[i], ml.PredictFromProb(p))
+		}
+		fr.AUC = AUC(fr.Scores, fr.Labels)
+		res.Folds = append(res.Folds, fr)
+	}
+	return res, nil
+}
+
+// PairwiseOrderedness implements the paper's pairord measure: the
+// fraction of (p,q) pairs with different labels that are ranked without
+// violation, where a violation is an illegitimate pharmacy receiving a
+// score greater than or equal to a legitimate pharmacy's score.
+//
+// The paper's indicator I(p,q) is 1 iff rank(p) >= rank(q) while
+// O(p) < O(q) (or symmetrically), i.e. ties count as violations.
+func PairwiseOrderedness(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic("eval: scores and labels length mismatch")
+	}
+	// Count, over all legit/illegit pairs, how many have
+	// score(illegit) >= score(legit). Sorting gives O(n log n).
+	type sl struct {
+		s float64
+		y int
+	}
+	pts := make([]sl, len(scores))
+	var pos, neg int
+	for i := range scores {
+		pts[i] = sl{scores[i], labels[i]}
+		if labels[i] == ml.Legitimate {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 1
+	}
+	sort.SliceStable(pts, func(a, b int) bool { return pts[a].s < pts[b].s })
+
+	var violations float64
+	// Sweep in increasing score order. For each legitimate instance,
+	// every illegitimate instance with score >= its score violates.
+	// Handle ties in blocks.
+	i := 0
+	negSeen := 0 // illegitimate with strictly smaller score
+	for i < len(pts) {
+		j := i
+		posBlock, negBlock := 0, 0
+		for j < len(pts) && pts[j].s == pts[i].s {
+			if pts[j].y == ml.Legitimate {
+				posBlock++
+			} else {
+				negBlock++
+			}
+			j++
+		}
+		negAtOrAbove := neg - negSeen // includes ties in this block
+		violations += float64(posBlock) * float64(negAtOrAbove)
+		negSeen += negBlock
+		i = j
+	}
+	total := float64(pos) * float64(neg)
+	return (total - violations) / total
+}

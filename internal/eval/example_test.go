@@ -1,0 +1,35 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"pharmaverify/internal/eval"
+)
+
+func ExampleAUC() {
+	// Scores for two legitimate (label 1) and two illegitimate (label 0)
+	// pharmacies; one ranking violation.
+	scores := []float64{0.9, 0.3, 0.5, 0.1}
+	labels := []int{1, 1, 0, 0}
+	fmt.Printf("%.2f\n", eval.AUC(scores, labels))
+	// Output: 0.75
+}
+
+func ExamplePairwiseOrderedness() {
+	// A perfect legitimacy ranking has no (legitimate, illegitimate)
+	// pair out of order.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	fmt.Printf("%.3f\n", eval.PairwiseOrderedness(scores, labels))
+	// Output: 1.000
+}
+
+func ExampleConfusion() {
+	var c eval.Confusion
+	c.Observe(1, 1) // legitimate classified legitimate
+	c.Observe(1, 0) // legitimate missed
+	c.Observe(0, 0) // illegitimate caught
+	c.Observe(0, 0)
+	fmt.Printf("accuracy %.2f, legit recall %.2f\n", c.Accuracy(), c.RecallLegitimate())
+	// Output: accuracy 0.75, legit recall 0.50
+}

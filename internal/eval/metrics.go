@@ -1,0 +1,219 @@
+// Package eval implements the evaluation machinery of the paper's
+// Section 6.2: overall accuracy, per-class precision and recall, area
+// under the ROC curve, confidence intervals over cross-validation folds,
+// stratified k-fold cross-validation, and the pairwise-orderedness
+// measure used for the ranking problem (OPR).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pharmaverify/internal/ml"
+)
+
+// Confusion is a 2×2 confusion matrix following the paper's convention:
+// "positive" is the legitimate class, "negative" the illegitimate class.
+type Confusion struct {
+	TP int // legitimate predicted legitimate
+	FN int // legitimate predicted illegitimate
+	FP int // illegitimate predicted legitimate
+	TN int // illegitimate predicted illegitimate
+}
+
+// Observe records one (actual, predicted) pair.
+func (c *Confusion) Observe(actual, predicted int) {
+	switch {
+	case actual == ml.Legitimate && predicted == ml.Legitimate:
+		c.TP++
+	case actual == ml.Legitimate && predicted == ml.Illegitimate:
+		c.FN++
+	case actual == ml.Illegitimate && predicted == ml.Legitimate:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total reports the number of observed instances.
+func (c Confusion) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// Accuracy is the overall correctness (TP+TN)/(TP+TN+FP+FN).
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// PrecisionLegitimate = TP / (TP + FP).
+func (c Confusion) PrecisionLegitimate() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// RecallLegitimate = TP / (TP + FN).
+func (c Confusion) RecallLegitimate() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// PrecisionIllegitimate = TN / (TN + FN).
+func (c Confusion) PrecisionIllegitimate() float64 { return ratio(c.TN, c.TN+c.FN) }
+
+// RecallIllegitimate = TN / (TN + FP).
+func (c Confusion) RecallIllegitimate() float64 { return ratio(c.TN, c.TN+c.FP) }
+
+// F1Legitimate is the harmonic mean of legitimate precision and recall.
+func (c Confusion) F1Legitimate() float64 {
+	p, r := c.PrecisionLegitimate(), c.RecallLegitimate()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// TruePositiveRate and FalsePositiveRate as used to draw ROC curves.
+func (c Confusion) TruePositiveRate() float64  { return c.RecallLegitimate() }
+func (c Confusion) FalsePositiveRate() float64 { return ratio(c.FP, c.FP+c.TN) }
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FN=%d FP=%d TN=%d acc=%.3f", c.TP, c.FN, c.FP, c.TN, c.Accuracy())
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// AUC computes the area under the ROC curve from legitimate-class scores
+// and true labels, using the rank-statistic (Mann-Whitney U) formulation
+// with midrank tie handling. It returns 0.5 when either class is absent.
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic("eval: scores and labels length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Midranks: equal scores share the average of their positions.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+
+	var pos, neg int
+	var sumPos float64
+	for i, y := range labels {
+		if y == ml.Legitimate {
+			pos++
+			sumPos += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	u := sumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC computes the full ROC curve (sorted by decreasing threshold,
+// starting at (0,0) and ending at (1,1)).
+func ROC(scores []float64, labels []int) []ROCPoint {
+	type sl struct {
+		s float64
+		y int
+	}
+	pts := make([]sl, len(scores))
+	var pos, neg int
+	for i := range scores {
+		pts[i] = sl{scores[i], labels[i]}
+		if labels[i] == ml.Legitimate {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].s > pts[b].s })
+
+	curve := []ROCPoint{{Threshold: math.Inf(1)}}
+	tp, fp := 0, 0
+	for i := 0; i < len(pts); {
+		j := i
+		for j < len(pts) && pts[j].s == pts[i].s {
+			if pts[j].y == ml.Legitimate {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: pts[i].s,
+			FPR:       ratio(fp, neg),
+			TPR:       ratio(tp, pos),
+		})
+		i = j
+	}
+	return curve
+}
+
+// AUCFromCurve integrates a ROC curve with the trapezoid rule; it agrees
+// with AUC() up to floating-point error and exists mainly for testing.
+func AUCFromCurve(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// MeanStd returns the sample mean and (unbiased) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)-1))
+	return mean, std
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval for the mean of xs (normal approximation, as in the paper's
+// α=0.05 analysis over cross-validation folds).
+func ConfidenceInterval95(xs []float64) float64 {
+	_, std := MeanStd(xs)
+	if len(xs) == 0 {
+		return 0
+	}
+	return 1.96 * std / math.Sqrt(float64(len(xs)))
+}

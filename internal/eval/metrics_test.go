@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(ml.Legitimate, ml.Legitimate)     // TP
+	c.Observe(ml.Legitimate, ml.Illegitimate)   // FN
+	c.Observe(ml.Illegitimate, ml.Legitimate)   // FP
+	c.Observe(ml.Illegitimate, ml.Illegitimate) // TN
+	c.Observe(ml.Illegitimate, ml.Illegitimate) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	if got := c.Accuracy(); math.Abs(got-3.0/5.0) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.PrecisionLegitimate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PrecisionLegitimate = %v", got)
+	}
+	if got := c.RecallLegitimate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RecallLegitimate = %v", got)
+	}
+	if got := c.PrecisionIllegitimate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("PrecisionIllegitimate = %v", got)
+	}
+	if got := c.RecallIllegitimate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("RecallIllegitimate = %v", got)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.PrecisionLegitimate() != 0 || c.F1Legitimate() != 0 {
+		t.Error("empty confusion must report zeros, not NaN")
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 0 {
+		t.Errorf("AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AUC with all ties = %v, want 0.5", got)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if got := AUC([]float64{0.1, 0.9}, []int{0, 0}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// One violation among 2x2 = 4 pairs: AUC = 3/4 ... construct:
+	// pos scores {0.9, 0.3}, neg scores {0.5, 0.1}.
+	// pairs: (0.9>0.5) ok, (0.9>0.1) ok, (0.3<0.5) violation, (0.3>0.1) ok.
+	got := AUC([]float64{0.9, 0.3, 0.5, 0.1}, []int{1, 1, 0, 0})
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCAgreesWithCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 30 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*10) / 10 // force ties
+			labels[i] = rng.Intn(2)
+		}
+		a := AUC(scores, labels)
+		b := AUCFromCurve(ROC(scores, labels))
+		// With midrank ties both formulations agree.
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("rank AUC %v != trapezoid AUC %v", a, b)
+		}
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	curve := ROC([]float64{0.9, 0.1}, []int{1, 0})
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Errorf("curve must start at origin: %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve must end at (1,1): %+v", last)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(std-2.138089935299395) > 1e-9 {
+		t.Errorf("std = %v", std)
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if ci := ConfidenceInterval95([]float64{0.5, 0.5, 0.5}); ci != 0 {
+		t.Errorf("constant folds must have zero CI, got %v", ci)
+	}
+	ci := ConfidenceInterval95([]float64{0.90, 0.92, 0.94})
+	if ci <= 0 || ci > 0.05 {
+		t.Errorf("CI = %v out of plausible range", ci)
+	}
+}
+
+func TestPairwiseOrderednessPerfect(t *testing.T) {
+	got := PairwiseOrderedness([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0})
+	if got != 1 {
+		t.Errorf("pairord = %v, want 1", got)
+	}
+}
+
+func TestPairwiseOrderednessWorst(t *testing.T) {
+	got := PairwiseOrderedness([]float64{0.1, 0.9}, []int{1, 0})
+	if got != 0 {
+		t.Errorf("pairord = %v, want 0", got)
+	}
+}
+
+func TestPairwiseOrderednessTiesAreViolations(t *testing.T) {
+	// Equal score between a legit and an illegit instance counts as a
+	// violation per the paper's I(p,q) definition.
+	got := PairwiseOrderedness([]float64{0.5, 0.5}, []int{1, 0})
+	if got != 0 {
+		t.Errorf("pairord with tie = %v, want 0", got)
+	}
+}
+
+func TestPairwiseOrderednessMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*8) / 8
+			labels[i] = rng.Intn(2)
+		}
+		want := bruteForcePairord(scores, labels)
+		got := PairwiseOrderedness(scores, labels)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("pairord = %v, brute force = %v (scores=%v labels=%v)", got, want, scores, labels)
+		}
+	}
+}
+
+func bruteForcePairord(scores []float64, labels []int) float64 {
+	var total, viol float64
+	for i := range scores {
+		for j := range scores {
+			if i == j || labels[i] == labels[j] {
+				continue
+			}
+			// Count unordered pairs once.
+			if i > j {
+				continue
+			}
+			total++
+			p, q := i, j
+			// I(p,q)=1 iff rank(p)>=rank(q) and O(p)<O(q), or vice versa.
+			if scores[p] >= scores[q] && labels[p] < labels[q] {
+				viol++
+			} else if scores[p] <= scores[q] && labels[p] > labels[q] {
+				viol++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return (total - viol) / total
+}
+
+func TestPairwiseOrderednessSingleClass(t *testing.T) {
+	if got := PairwiseOrderedness([]float64{0.3, 0.7}, []int{0, 0}); got != 1 {
+		t.Errorf("single-class pairord = %v, want 1", got)
+	}
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: AUC is invariant under strictly monotone transformations of
+// the scores (it is a rank statistic).
+func TestAUCMonotoneInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(60)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2)
+		}
+		a := AUC(scores, labels)
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(s/3) + 7 // strictly increasing
+		}
+		b := AUC(transformed, labels)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("AUC not rank-invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: AUC(scores) + AUC(-scores) = 1 when there are no ties.
+func TestAUCComplementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(60)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.Float64() // ties almost surely absent
+			labels[i] = rng.Intn(2)
+		}
+		neg := make([]float64, n)
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		hasPos, hasNeg := false, false
+		for _, y := range labels {
+			if y == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			continue
+		}
+		if s := AUC(scores, labels) + AUC(neg, labels); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("AUC complement = %v", s)
+		}
+	}
+}
+
+// Property: pairord is invariant under strictly monotone score
+// transformations, like AUC.
+func TestPairordMonotoneInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = math.Round(rng.NormFloat64()*4) / 4 // include ties
+			labels[i] = rng.Intn(2)
+		}
+		a := PairwiseOrderedness(scores, labels)
+		tr := make([]float64, n)
+		for i, s := range scores {
+			tr[i] = 3*s + 100
+		}
+		b := PairwiseOrderedness(tr, labels)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("pairord not rank-invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: without ties, pairord equals AUC (both count the same
+// concordant pairs).
+func TestPairordEqualsAUCWithoutTiesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(60)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = rng.Intn(2)
+		}
+		hasPos, hasNeg := false, false
+		for _, y := range labels {
+			if y == 1 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			continue
+		}
+		a, p := AUC(scores, labels), PairwiseOrderedness(scores, labels)
+		if math.Abs(a-p) > 1e-9 {
+			t.Fatalf("pairord %v != AUC %v without ties", p, a)
+		}
+	}
+}
+
+// Property: stratified folds partition the index set exactly, for any
+// class balance and k.
+func TestStratifiedKFoldPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(100)
+		k := 2 + rng.Intn(4)
+		ds := imbalancedDataset(n, 1+rng.Intn(n-1), rng.Int63())
+		folds := StratifiedKFold(ds, k, rng.Int63())
+		seen := make([]bool, n)
+		count := 0
+		for _, fold := range folds {
+			for _, i := range fold {
+				if seen[i] {
+					t.Fatal("index in two folds")
+				}
+				seen[i] = true
+				count++
+			}
+		}
+		if count != n {
+			t.Fatalf("folds cover %d of %d", count, n)
+		}
+	}
+}
+
+// Property: the confusion matrix's per-class recalls weighted by class
+// prevalence reconstruct overall accuracy.
+func TestConfusionAccuracyDecompositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 100; trial++ {
+		var c Confusion
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			c.Observe(rng.Intn(2), rng.Intn(2))
+		}
+		pos := c.TP + c.FN
+		neg := c.TN + c.FP
+		want := (c.RecallLegitimate()*float64(pos) + c.RecallIllegitimate()*float64(neg)) / float64(pos+neg)
+		if math.Abs(want-c.Accuracy()) > 1e-9 {
+			t.Fatalf("decomposition %v != accuracy %v", want, c.Accuracy())
+		}
+	}
+}

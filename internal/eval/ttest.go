@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"errors"
+	"math"
+)
+
+// PairedTTestResult reports a two-sided paired t-test between two
+// classifiers' per-fold metrics.
+type PairedTTestResult struct {
+	// T is the t statistic of the mean difference (a - b).
+	T float64
+	// DF is the degrees of freedom (len-1).
+	DF int
+	// P is the two-sided p-value.
+	P float64
+	// MeanDiff is the mean of a[i] - b[i].
+	MeanDiff float64
+}
+
+// ErrTTestInput is returned for mismatched or too-short inputs.
+var ErrTTestInput = errors.New("eval: t-test needs two equal-length series with at least 2 entries")
+
+// PairedTTest runs a two-sided paired Student t-test on two series of
+// fold metrics (e.g. per-fold AUC of two classifiers over the same
+// folds). With the paper's 3-fold protocol the test has 2 degrees of
+// freedom — weak but honest; the repository reports it alongside the
+// 95% confidence intervals of Section 6.3.
+func PairedTTest(a, b []float64) (PairedTTestResult, error) {
+	if len(a) != len(b) || len(a) < 2 {
+		return PairedTTestResult{}, ErrTTestInput
+	}
+	n := len(a)
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	mean, std := MeanStd(diffs)
+	res := PairedTTestResult{DF: n - 1, MeanDiff: mean}
+	if std == 0 {
+		// Identical differences: either exactly equal (p=1) or a
+		// constant non-zero shift (p→0).
+		if mean == 0 {
+			res.P = 1
+			return res, nil
+		}
+		res.T = math.Inf(sign(mean))
+		res.P = 0
+		return res, nil
+	}
+	res.T = mean / (std / math.Sqrt(float64(n)))
+	res.P = 2 * studentTailCDF(math.Abs(res.T), float64(res.DF))
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTailCDF returns P(T > t) for Student's t with df degrees of
+// freedom, t >= 0, via the regularized incomplete beta function:
+// P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2.
+func studentTailCDF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x) / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a,b) with the continued-fraction expansion (Numerical Recipes'
+// betacf), accurate to ~1e-10 for the parameter ranges used here.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// CompareFolds is a convenience wrapper: it extracts the metric from
+// two CV results over the same folds and t-tests the difference.
+func CompareFolds(a, b CVResult, m Metric) (PairedTTestResult, error) {
+	if len(a.Folds) != len(b.Folds) {
+		return PairedTTestResult{}, ErrTTestInput
+	}
+	av := make([]float64, len(a.Folds))
+	bv := make([]float64, len(b.Folds))
+	for i := range a.Folds {
+		av[i] = m(a.Folds[i])
+		bv[i] = m(b.Folds[i])
+	}
+	return PairedTTest(av, bv)
+}

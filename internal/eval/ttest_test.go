@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPairedTTestIdenticalSeries(t *testing.T) {
+	a := []float64{0.9, 0.91, 0.92}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.MeanDiff != 0 {
+		t.Errorf("identical series: %+v", res)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{0.9, 0.8, 0.7}
+	b := []float64{0.8, 0.7, 0.6}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The differences are constant up to float rounding, so the test
+	// statistic is enormous and the p-value vanishes.
+	if res.P > 1e-6 || res.T < 100 {
+		t.Errorf("constant positive shift: %+v", res)
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// diffs = {1, 2, 3}: mean 2, sd 1, n 3 → t = 2/(1/√3) = 3.4641,
+	// df 2 → two-sided p ≈ 0.0742.
+	a := []float64{2, 4, 6}
+	b := []float64{1, 2, 3}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T-3.4641016) > 1e-6 {
+		t.Errorf("t = %v", res.T)
+	}
+	if math.Abs(res.P-0.0742) > 0.002 {
+		t.Errorf("p = %v, want ≈0.0742", res.P)
+	}
+	if res.DF != 2 {
+		t.Errorf("df = %d", res.DF)
+	}
+}
+
+func TestPairedTTestSymmetric(t *testing.T) {
+	a := []float64{0.95, 0.97, 0.96, 0.99}
+	b := []float64{0.91, 0.93, 0.95, 0.92}
+	ab, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab.T+ba.T) > 1e-12 || math.Abs(ab.P-ba.P) > 1e-12 {
+		t.Errorf("asymmetric: %+v vs %+v", ab, ba)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err != ErrTTestInput {
+		t.Errorf("short input: %v", err)
+	}
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); err != ErrTTestInput {
+		t.Errorf("mismatched input: %v", err)
+	}
+}
+
+func TestStudentTailCDFKnownValues(t *testing.T) {
+	// Classic table values: P(T > t) one-sided.
+	cases := []struct{ tv, df, want float64 }{
+		{0, 5, 0.5},
+		{1.0, 1, 0.25},         // t(1): P(T>1) = 0.25
+		{2.015, 5, 0.05},       // t(5) 95th percentile
+		{2.571, 5, 0.025},      // t(5) 97.5th percentile
+		{1.96, 1e6, 0.0249979}, // ≈ normal
+	}
+	for _, c := range cases {
+		if got := studentTailCDF(c.tv, c.df); math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("tail(t=%v, df=%v) = %v, want %v", c.tv, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := 0.5+rng.Float64()*5, 0.5+rng.Float64()*5
+		x := rng.Float64()
+		lhs := regIncBeta(a, b, x)
+		rhs := 1 - regIncBeta(b, a, 1-x)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("symmetry violated at a=%v b=%v x=%v: %v vs %v", a, b, x, lhs, rhs)
+		}
+		if lhs < 0 || lhs > 1 {
+			t.Fatalf("I_x out of [0,1]: %v", lhs)
+		}
+	}
+	// Monotonicity in x.
+	prev := 0.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := regIncBeta(1.5, 2.5, x)
+		if v+1e-12 < prev {
+			t.Fatalf("not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestCompareFolds(t *testing.T) {
+	mk := func(accs ...float64) CVResult {
+		var r CVResult
+		for _, a := range accs {
+			total := 100
+			tp := int(a * float64(total))
+			r.Folds = append(r.Folds, FoldResult{Confusion: Confusion{TP: tp, FN: total - tp}})
+		}
+		return r
+	}
+	a := mk(0.9, 0.92, 0.94)
+	b := mk(0.8, 0.82, 0.84)
+	res, err := CompareFolds(a, b, MetricLegitRecall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDiff <= 0 {
+		t.Errorf("mean diff = %v", res.MeanDiff)
+	}
+	if _, err := CompareFolds(a, CVResult{}, MetricLegitRecall); err == nil {
+		t.Error("mismatched folds accepted")
+	}
+}

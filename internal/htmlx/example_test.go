@@ -1,0 +1,27 @@
+package htmlx_test
+
+import (
+	"fmt"
+
+	"pharmaverify/internal/htmlx"
+)
+
+func ExampleParse() {
+	page := htmlx.Parse(`<html><head><title>Acme Pharmacy</title></head>
+<body><h1>Welcome</h1><p>Refill your prescription online.</p>
+<a href="https://www.fda.gov/">FDA</a></body></html>`)
+	fmt.Println(page.Title)
+	fmt.Println(page.Text)
+	fmt.Println(page.Links)
+	// The title participates in the visible text: it is classification
+	// signal like any other page content.
+	// Output:
+	// Acme Pharmacy
+	// Acme Pharmacy Welcome Refill your prescription online. FDA
+	// [https://www.fda.gov/]
+}
+
+func ExampleDecodeEntities() {
+	fmt.Println(htmlx.DecodeEntities("Fish &amp; Chips &#8212; &quot;cheap&quot;"))
+	// Output: Fish & Chips — "cheap"
+}

@@ -1,0 +1,274 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+// wordCountDataset builds a tiny text-like corpus: class 1 documents use
+// terms {0,1} heavily, class 0 documents use terms {2,3}.
+func wordCountDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 4}
+	for i := 0; i < n; i++ {
+		counts := make([]float64, 4)
+		y := i % 2
+		base := 0
+		if y == ml.Illegitimate {
+			base = 2
+		}
+		for w := 0; w < 20; w++ {
+			if rng.Float64() < 0.85 {
+				counts[base+rng.Intn(2)]++
+			} else {
+				counts[rng.Intn(4)]++
+			}
+		}
+		ds.Add(ml.NewVector(counts), y, "")
+	}
+	return ds
+}
+
+func TestMultinomialSeparatesClasses(t *testing.T) {
+	ds := wordCountDataset(200, 1)
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range ds.X {
+		if clf.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+}
+
+func TestMultinomialProbRange(t *testing.T) {
+	ds := wordCountDataset(100, 2)
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		p := clf.Prob(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Prob out of range: %v", p)
+		}
+	}
+}
+
+func TestMultinomialPredictConsistentWithProb(t *testing.T) {
+	ds := wordCountDataset(100, 3)
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if clf.Predict(x) != ml.PredictFromProb(clf.Prob(x)) {
+			t.Fatal("Predict inconsistent with Prob")
+		}
+	}
+}
+
+func TestMultinomialErrors(t *testing.T) {
+	if err := NewMultinomial().Fit(&ml.Dataset{Dim: 2}); err != ml.ErrEmptyDataset {
+		t.Errorf("empty: %v", err)
+	}
+	one := &ml.Dataset{Dim: 2}
+	one.Add(ml.NewVector([]float64{1, 0}), ml.Legitimate, "")
+	if err := NewMultinomial().Fit(one); err != ml.ErrOneClass {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestMultinomialUnfittedNeutral(t *testing.T) {
+	clf := NewMultinomial()
+	if p := clf.Prob(ml.NewVector([]float64{1})); p != 0.5 {
+		t.Errorf("unfitted Prob = %v", p)
+	}
+}
+
+func TestMultinomialUnseenTermIgnored(t *testing.T) {
+	ds := wordCountDataset(100, 4)
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// An instance with an index beyond the training dim must not panic.
+	x := ml.Vector{Ind: []int32{0, 99}, Val: []float64{3, 5}}
+	p := clf.Prob(x)
+	if math.IsNaN(p) {
+		t.Error("NaN prob on unseen term")
+	}
+}
+
+func TestMultinomialSmoothingHandlesZeroCounts(t *testing.T) {
+	// Term 3 never appears in class 1; a test doc containing it must
+	// still get a finite probability.
+	ds := &ml.Dataset{Dim: 4}
+	ds.Add(ml.NewVector([]float64{5, 0, 0, 0}), ml.Legitimate, "")
+	ds.Add(ml.NewVector([]float64{4, 1, 0, 0}), ml.Legitimate, "")
+	ds.Add(ml.NewVector([]float64{0, 0, 5, 2}), ml.Illegitimate, "")
+	ds.Add(ml.NewVector([]float64{0, 0, 4, 3}), ml.Illegitimate, "")
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	p := clf.Prob(ml.NewVector([]float64{2, 0, 0, 4}))
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("prob = %v", p)
+	}
+}
+
+func TestMultinomialRefitResets(t *testing.T) {
+	a := wordCountDataset(100, 5)
+	clf := NewMultinomial()
+	if err := clf.Fit(a); err != nil {
+		t.Fatal(err)
+	}
+	// Re-fit with labels flipped; predictions must flip too.
+	b := &ml.Dataset{Dim: a.Dim}
+	for i, x := range a.X {
+		b.Add(x, 1-a.Y[i], "")
+	}
+	if err := clf.Fit(b); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range b.X {
+		if clf.Predict(x) == b.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(b.Len()); acc < 0.95 {
+		t.Errorf("refit accuracy = %v", acc)
+	}
+}
+
+func gaussianDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 3}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		mu := -1.0
+		if y == ml.Legitimate {
+			mu = 1.0
+		}
+		ds.Add(ml.NewVector([]float64{
+			mu + rng.NormFloat64()*0.4,
+			-mu + rng.NormFloat64()*0.4,
+			rng.NormFloat64(), // noise feature
+		}), y, "")
+	}
+	return ds
+}
+
+func TestGaussianSeparatesClasses(t *testing.T) {
+	ds := gaussianDataset(400, 10)
+	clf := NewGaussian()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range ds.X {
+		if clf.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+}
+
+func TestGaussianConstantFeature(t *testing.T) {
+	// A zero-variance feature must not produce NaN/Inf.
+	ds := &ml.Dataset{Dim: 2}
+	ds.Add(ml.NewVector([]float64{1, 0.5}), ml.Legitimate, "")
+	ds.Add(ml.NewVector([]float64{1, 0.4}), ml.Legitimate, "")
+	ds.Add(ml.NewVector([]float64{1, -0.5}), ml.Illegitimate, "")
+	ds.Add(ml.NewVector([]float64{1, -0.6}), ml.Illegitimate, "")
+	clf := NewGaussian()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	p := clf.Prob(ml.NewVector([]float64{1, 0.45}))
+	if math.IsNaN(p) || p < 0.5 {
+		t.Errorf("prob = %v, want >= 0.5", p)
+	}
+}
+
+func TestGaussianPriorsMatter(t *testing.T) {
+	// Both classes share the same empirical mean and variance, so at the
+	// shared mean the likelihoods are equal and the larger prior (the
+	// illegitimate class, 3:1) must win.
+	ds := &ml.Dataset{Dim: 1}
+	for rep := 0; rep < 3; rep++ {
+		for _, v := range []float64{-1, 0, 1} {
+			ds.Add(ml.NewVector([]float64{v}), ml.Illegitimate, "")
+		}
+	}
+	for _, v := range []float64{-1, 0, 1} {
+		ds.Add(ml.NewVector([]float64{v}), ml.Legitimate, "")
+	}
+	clf := NewGaussian()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if p := clf.Prob(ml.NewVector([]float64{0})); p >= 0.5 {
+		t.Errorf("prior ignored: p = %v", p)
+	}
+}
+
+func TestGaussianErrors(t *testing.T) {
+	if err := NewGaussian().Fit(&ml.Dataset{Dim: 1}); err != ml.ErrEmptyDataset {
+		t.Errorf("empty: %v", err)
+	}
+	one := &ml.Dataset{Dim: 1}
+	one.Add(ml.NewVector([]float64{1}), ml.Illegitimate, "")
+	if err := NewGaussian().Fit(one); err != ml.ErrOneClass {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestGaussianUnfittedNeutral(t *testing.T) {
+	if p := NewGaussian().Prob(ml.NewVector([]float64{1})); p != 0.5 {
+		t.Errorf("unfitted Prob = %v", p)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewMultinomial().Name() != "NBM" || NewGaussian().Name() != "NB" {
+		t.Error("paper abbreviations wrong")
+	}
+}
+
+func BenchmarkMultinomialFit(b *testing.B) {
+	ds := wordCountDataset(1000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := NewMultinomial()
+		if err := clf.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussianPredict(b *testing.B) {
+	ds := gaussianDataset(1000, 42)
+	clf := NewGaussian()
+	if err := clf.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Predict(ds.X[i%ds.Len()])
+	}
+}

@@ -1,0 +1,131 @@
+// Package bayes implements the two Naïve Bayes variants used by the
+// paper: the Naïve Bayesian Multinomial classifier (NBM) applied to
+// TF-IDF term vectors, and the Gaussian Naïve Bayes classifier (NB)
+// applied to the dense similarity/trust features of the N-Gram-Graph and
+// network pipelines.
+package bayes
+
+import (
+	"math"
+
+	"pharmaverify/internal/ml"
+)
+
+// Multinomial is the Naïve Bayesian Multinomial text classifier. Feature
+// values are treated as (possibly fractional) event counts; class
+// priors and per-term conditionals use Laplace smoothing:
+//
+//	P(c|d) ∝ P(c) · Π_k P(t_k|c)^{tf_k}
+//
+// matching the formulation in Section 5 of the paper.
+type Multinomial struct {
+	// Alpha is the additive smoothing constant (default 1.0 when 0).
+	Alpha float64
+
+	dim      int
+	logPrior [2]float64
+	// logCond[c][t] = log P(t|c)
+	logCond [2][]float64
+	fitted  bool
+}
+
+// NewMultinomial returns an NBM classifier with Laplace smoothing.
+func NewMultinomial() *Multinomial { return &Multinomial{Alpha: 1} }
+
+// Name implements ml.Named with the paper's abbreviation.
+func (m *Multinomial) Name() string { return "NBM" }
+
+// Fit estimates priors and term conditionals from the dataset.
+func (m *Multinomial) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return ml.ErrEmptyDataset
+	}
+	alpha := m.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	m.dim = ds.Dim
+
+	var classCount [2]float64
+	var termTotal [2]float64
+	var termCount [2][]float64
+	termCount[0] = make([]float64, ds.Dim)
+	termCount[1] = make([]float64, ds.Dim)
+
+	for n, x := range ds.X {
+		c := ds.Y[n]
+		classCount[c]++
+		for k, i := range x.Ind {
+			v := x.Val[k]
+			if v < 0 {
+				v = 0 // counts cannot be negative
+			}
+			termCount[c][i] += v
+			termTotal[c] += v
+		}
+	}
+	if classCount[0] == 0 || classCount[1] == 0 {
+		return ml.ErrOneClass
+	}
+
+	total := classCount[0] + classCount[1]
+	for c := 0; c < 2; c++ {
+		m.logPrior[c] = math.Log(classCount[c] / total)
+		m.logCond[c] = make([]float64, ds.Dim)
+		den := termTotal[c] + alpha*float64(ds.Dim)
+		for t := 0; t < ds.Dim; t++ {
+			m.logCond[c][t] = math.Log((termCount[c][t] + alpha) / den)
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// logPosterior returns the unnormalized log posterior of class c.
+func (m *Multinomial) logPosterior(x ml.Vector, c int) float64 {
+	s := m.logPrior[c]
+	for k, i := range x.Ind {
+		if int(i) >= m.dim {
+			continue
+		}
+		v := x.Val[k]
+		if v < 0 {
+			v = 0
+		}
+		s += v * m.logCond[c][i]
+	}
+	return s
+}
+
+// Prob returns P(legitimate | x).
+func (m *Multinomial) Prob(x ml.Vector) float64 {
+	if !m.fitted {
+		return 0.5
+	}
+	l0 := m.logPosterior(x, ml.Illegitimate)
+	l1 := m.logPosterior(x, ml.Legitimate)
+	// Normalize in log space: p1 = 1 / (1 + exp(l0-l1)).
+	return ml.Sigmoid(l1 - l0)
+}
+
+// Predict returns the MAP class.
+func (m *Multinomial) Predict(x ml.Vector) int { return ml.PredictFromProb(m.Prob(x)) }
+
+// LogOdds returns, per feature, log P(t|legitimate) − log P(t|illegitimate):
+// positive values mark terms indicative of legitimate pharmacies,
+// negative of illegitimate ones. It returns nil before Fit.
+func (m *Multinomial) LogOdds() []float64 {
+	if !m.fitted {
+		return nil
+	}
+	out := make([]float64, m.dim)
+	for t := 0; t < m.dim; t++ {
+		out[t] = m.logCond[ml.Legitimate][t] - m.logCond[ml.Illegitimate][t]
+	}
+	return out
+}
+
+var (
+	_ ml.Classifier = (*Multinomial)(nil)
+	_ ml.Named      = (*Multinomial)(nil)
+)

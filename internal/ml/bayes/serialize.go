@@ -1,0 +1,94 @@
+package bayes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// multinomialState is the JSON wire form of a trained Multinomial.
+type multinomialState struct {
+	Alpha    float64      `json:"alpha"`
+	Dim      int          `json:"dim"`
+	LogPrior [2]float64   `json:"logPrior"`
+	LogCond  [2][]float64 `json:"logCond"`
+}
+
+// MarshalJSON serializes a fitted classifier; it fails on an unfitted
+// one so that stale zero-valued models cannot be persisted silently.
+func (m *Multinomial) MarshalJSON() ([]byte, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("bayes: cannot marshal unfitted Multinomial")
+	}
+	return json.Marshal(multinomialState{
+		Alpha:    m.Alpha,
+		Dim:      m.dim,
+		LogPrior: m.logPrior,
+		LogCond:  m.logCond,
+	})
+}
+
+// UnmarshalJSON restores a classifier persisted with MarshalJSON.
+func (m *Multinomial) UnmarshalJSON(data []byte) error {
+	var s multinomialState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("bayes: decode Multinomial: %w", err)
+	}
+	if len(s.LogCond[0]) != s.Dim || len(s.LogCond[1]) != s.Dim {
+		return fmt.Errorf("bayes: Multinomial state has %d/%d conditionals for dim %d",
+			len(s.LogCond[0]), len(s.LogCond[1]), s.Dim)
+	}
+	m.Alpha = s.Alpha
+	m.dim = s.Dim
+	m.logPrior = s.LogPrior
+	m.logCond = s.LogCond
+	m.fitted = true
+	return nil
+}
+
+// gaussianState is the JSON wire form of a trained Gaussian.
+type gaussianState struct {
+	VarSmoothing float64      `json:"varSmoothing"`
+	Dim          int          `json:"dim"`
+	LogPrior     [2]float64   `json:"logPrior"`
+	Mean         [2][]float64 `json:"mean"`
+	Variance     [2][]float64 `json:"variance"`
+}
+
+// MarshalJSON serializes a fitted classifier.
+func (g *Gaussian) MarshalJSON() ([]byte, error) {
+	if !g.fitted {
+		return nil, fmt.Errorf("bayes: cannot marshal unfitted Gaussian")
+	}
+	return json.Marshal(gaussianState{
+		VarSmoothing: g.VarSmoothing,
+		Dim:          g.dim,
+		LogPrior:     g.logPrior,
+		Mean:         g.mean,
+		Variance:     g.variance,
+	})
+}
+
+// UnmarshalJSON restores a classifier persisted with MarshalJSON.
+func (g *Gaussian) UnmarshalJSON(data []byte) error {
+	var s gaussianState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("bayes: decode Gaussian: %w", err)
+	}
+	for c := 0; c < 2; c++ {
+		if len(s.Mean[c]) != s.Dim || len(s.Variance[c]) != s.Dim {
+			return fmt.Errorf("bayes: Gaussian state shape mismatch")
+		}
+		for _, v := range s.Variance[c] {
+			if v <= 0 {
+				return fmt.Errorf("bayes: Gaussian state has non-positive variance")
+			}
+		}
+	}
+	g.VarSmoothing = s.VarSmoothing
+	g.dim = s.Dim
+	g.logPrior = s.LogPrior
+	g.mean = s.Mean
+	g.variance = s.Variance
+	g.fitted = true
+	return nil
+}

@@ -1,0 +1,74 @@
+package bayes
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMultinomialSerializeRoundTrip(t *testing.T) {
+	ds := wordCountDataset(100, 50)
+	clf := NewMultinomial()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMultinomial()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if clf.Prob(x) != restored.Prob(x) {
+			t.Fatal("probabilities changed after round trip")
+		}
+	}
+}
+
+func TestMultinomialMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(NewMultinomial()); err == nil {
+		t.Error("unfitted marshal must fail")
+	}
+}
+
+func TestMultinomialUnmarshalBadShape(t *testing.T) {
+	bad := `{"alpha":1,"dim":3,"logPrior":[0,0],"logCond":[[1],[1]]}`
+	if err := json.Unmarshal([]byte(bad), NewMultinomial()); err == nil {
+		t.Error("shape mismatch must fail")
+	}
+}
+
+func TestGaussianSerializeRoundTrip(t *testing.T) {
+	ds := gaussianDataset(100, 51)
+	clf := NewGaussian()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewGaussian()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if clf.Prob(x) != restored.Prob(x) {
+			t.Fatal("probabilities changed after round trip")
+		}
+	}
+}
+
+func TestGaussianMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(NewGaussian()); err == nil {
+		t.Error("unfitted marshal must fail")
+	}
+}
+
+func TestGaussianUnmarshalNonPositiveVariance(t *testing.T) {
+	bad := `{"varSmoothing":0,"dim":1,"logPrior":[0,0],"mean":[[0],[0]],"variance":[[0],[1]]}`
+	if err := json.Unmarshal([]byte(bad), NewGaussian()); err == nil {
+		t.Error("zero variance must be rejected")
+	}
+}

@@ -1,0 +1,284 @@
+// Package ensemble implements "Ensemble Selection from Libraries of
+// Models" (Caruana et al., ICML 2004), the method the paper uses to
+// combine its text and network classifiers (Section 6.3.3).
+//
+// The learner fits every model in a library on a training portion,
+// then greedily selects models *with replacement* that maximize a
+// hillclimb metric on a held-out portion; the final predictor averages
+// the probability outputs of the selected bag. Sorted initialization
+// (seeding the bag with the best few models) reduces overfitting of the
+// greedy search, as recommended in the original paper.
+package ensemble
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+)
+
+// Factory creates one untrained library model.
+type Factory struct {
+	Name string
+	New  func() ml.Classifier
+}
+
+// Selection is the ensemble-selection meta-classifier.
+type Selection struct {
+	// Library lists the candidate model factories.
+	Library []Factory
+	// HillclimbFraction of the training data is held out for the greedy
+	// selection (default 1/3 when 0).
+	HillclimbFraction float64
+	// MaxRounds bounds the number of greedy additions (default 20).
+	MaxRounds int
+	// InitTopN seeds the bag with the N best single models (default 2).
+	InitTopN int
+	// Metric scores candidate bags on the hillclimb set (default AUC).
+	Metric func(scores []float64, labels []int) float64
+	// Bags enables bagged ensemble selection (Caruana et al. §2.3):
+	// the greedy selection runs Bags times, each over a random subset
+	// of the library, and the selected multisets are unioned. Bagging
+	// reduces the variance of hillclimb overfitting with small
+	// validation sets. 0 or 1 disables bagging.
+	Bags int
+	// BagFraction is the share of the library available to each bag
+	// (default 0.5).
+	BagFraction float64
+	// Seed controls the train/hillclimb split and bagging.
+	Seed int64
+
+	models   []ml.Classifier
+	selected []int // indices into models, with multiplicity
+	fitted   bool
+}
+
+// New returns an ensemble selector over the given library with the
+// defaults from the paper's setup ("standard parameters").
+func New(library ...Factory) *Selection {
+	return &Selection{Library: library}
+}
+
+// Name implements ml.Named.
+func (s *Selection) Name() string { return "EnsembleSelection" }
+
+// ErrEmptyLibrary is returned when Fit is called with no library models.
+var ErrEmptyLibrary = errors.New("ensemble: empty model library")
+
+// Fit trains the library and runs greedy forward selection.
+func (s *Selection) Fit(ds *ml.Dataset) error {
+	if len(s.Library) == 0 {
+		return ErrEmptyLibrary
+	}
+	if ds.Len() == 0 {
+		return ml.ErrEmptyDataset
+	}
+	frac := s.HillclimbFraction
+	if frac == 0 {
+		frac = 1.0 / 3.0
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 20
+	}
+	initTop := s.InitTopN
+	if initTop == 0 {
+		initTop = 2
+	}
+	metric := s.Metric
+	if metric == nil {
+		metric = eval.AUC
+	}
+
+	// Stratified split into build and hillclimb sets.
+	k := int(1 / frac)
+	if k < 2 {
+		k = 2
+	}
+	folds := eval.StratifiedKFold(ds, k, s.Seed)
+	buildIdx, hillIdx := folds.TrainTest(0)
+	build := ds.Subset(buildIdx)
+	hill := ds.Subset(hillIdx)
+	if build.CountClass(0) == 0 || build.CountClass(1) == 0 {
+		return ml.ErrOneClass
+	}
+
+	// Train the library.
+	s.models = make([]ml.Classifier, len(s.Library))
+	probs := make([][]float64, len(s.Library)) // model × hillclimb instance
+	for m, f := range s.Library {
+		clf := f.New()
+		if err := clf.Fit(build); err != nil {
+			return err
+		}
+		s.models[m] = clf
+		p := make([]float64, hill.Len())
+		for i, x := range hill.X {
+			p[i] = clf.Prob(x)
+		}
+		probs[m] = p
+	}
+
+	if s.Bags > 1 {
+		s.selected = selectBagged(probs, hill.Y, initTop, maxRounds, metric, s.Bags, s.BagFraction, s.Seed)
+	} else {
+		s.selected = SelectGreedy(probs, hill.Y, initTop, maxRounds, metric)
+	}
+	s.fitted = true
+	return nil
+}
+
+// selectBagged runs greedy selection over random library subsets and
+// unions the selections (with multiplicity).
+func selectBagged(probs [][]float64, labels []int, initTop, maxRounds int, metric func([]float64, []int) float64, bags int, frac float64, seed int64) []int {
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed + 999))
+	n := len(probs)
+	size := int(float64(n)*frac + 0.5)
+	if size < 1 {
+		size = 1
+	}
+	var selected []int
+	for b := 0; b < bags; b++ {
+		perm := rng.Perm(n)[:size]
+		sub := make([][]float64, size)
+		for i, m := range perm {
+			sub[i] = probs[m]
+		}
+		top := initTop
+		if top > size {
+			top = size
+		}
+		for _, local := range SelectGreedy(sub, labels, top, maxRounds, metric) {
+			selected = append(selected, perm[local])
+		}
+	}
+	return selected
+}
+
+func bagMetric(sum []float64, n int, labels []int, metric func([]float64, []int) float64) float64 {
+	avg := make([]float64, len(sum))
+	for i, v := range sum {
+		avg[i] = v / float64(n)
+	}
+	return metric(avg, labels)
+}
+
+// Prob averages the probability outputs of the selected bag (models
+// count with their selection multiplicity).
+func (s *Selection) Prob(x ml.Vector) float64 {
+	if !s.fitted || len(s.selected) == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, m := range s.selected {
+		sum += s.models[m].Prob(x)
+	}
+	return sum / float64(len(s.selected))
+}
+
+// Predict thresholds Prob at 0.5.
+func (s *Selection) Predict(x ml.Vector) int { return ml.PredictFromProb(s.Prob(x)) }
+
+// Selected reports how many times each library model was chosen, keyed
+// by factory name.
+func (s *Selection) Selected() map[string]int {
+	out := make(map[string]int)
+	for _, m := range s.selected {
+		out[s.Library[m].Name]++
+	}
+	return out
+}
+
+// SelectGreedy runs the sorted-initialization + greedy-forward-selection
+// core of ensemble selection on precomputed model outputs: probs[m][i]
+// is model m's legitimate probability for hillclimb instance i. It
+// returns the selected model indices with multiplicity. This low-level
+// entry point lets callers ensemble heterogeneous models (e.g. text
+// classifiers and the TrustRank network model) whose feature spaces
+// differ, as in the paper's Section 6.3.3.
+func SelectGreedy(probs [][]float64, labels []int, initTopN, maxRounds int, metric func([]float64, []int) float64) []int {
+	if len(probs) == 0 {
+		return nil
+	}
+	if metric == nil {
+		metric = eval.AUC
+	}
+	if initTopN <= 0 {
+		initTopN = 2
+	}
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	n := len(labels)
+
+	single := make([]int, len(probs))
+	for i := range single {
+		single[i] = i
+	}
+	sort.SliceStable(single, func(a, b int) bool {
+		return metric(probs[single[a]], labels) > metric(probs[single[b]], labels)
+	})
+	if initTopN > len(single) {
+		initTopN = len(single)
+	}
+	selected := append([]int{}, single[:initTopN]...)
+
+	sum := make([]float64, n)
+	for _, m := range selected {
+		for i := 0; i < n; i++ {
+			sum[i] += probs[m][i]
+		}
+	}
+	current := bagMetric(sum, len(selected), labels, metric)
+	cand := make([]float64, n)
+	for round := 0; round < maxRounds; round++ {
+		best, bestScore := -1, current
+		for m := range probs {
+			for i := 0; i < n; i++ {
+				cand[i] = sum[i] + probs[m][i]
+			}
+			if sc := bagMetric(cand, len(selected)+1, labels, metric); sc > bestScore {
+				best, bestScore = m, sc
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		for i := 0; i < n; i++ {
+			sum[i] += probs[best][i]
+		}
+		current = bestScore
+	}
+	return selected
+}
+
+// AverageSelected averages the outputs of the selected models (with
+// multiplicity) for one instance's model outputs.
+func AverageSelected(selected []int, modelProbs []float64) float64 {
+	if len(selected) == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, m := range selected {
+		sum += modelProbs[m]
+	}
+	return sum / float64(len(selected))
+}
+
+// Shuffle is a tiny deterministic helper used by tests and benchmarks to
+// build reproducible library orders.
+func Shuffle(fs []Factory, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(fs), func(i, j int) { fs[i], fs[j] = fs[j], fs[i] })
+}
+
+var (
+	_ ml.Classifier = (*Selection)(nil)
+	_ ml.Named      = (*Selection)(nil)
+)

@@ -1,0 +1,298 @@
+// Package ml defines the shared machine-learning contracts used by every
+// classifier in the pharmacy-verification pipeline: sparse feature
+// vectors, labeled datasets, and the Classifier interface implemented by
+// the Naïve Bayes, SVM, C4.5, MLP and ensemble learners.
+//
+// Labels follow the paper's convention: the positive class (1) is
+// "legitimate", the negative class (0) is "illegitimate".
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class labels. The paper calls legitimate the "positive" class.
+const (
+	Illegitimate = 0
+	Legitimate   = 1
+)
+
+// ClassName returns the paper's name for a label.
+func ClassName(y int) string {
+	if y == Legitimate {
+		return "legitimate"
+	}
+	return "illegitimate"
+}
+
+// Vector is a sparse feature vector: parallel slices of strictly
+// increasing feature indices and their values. The zero Vector is the
+// zero vector.
+type Vector struct {
+	Ind []int32
+	Val []float64
+}
+
+// NewVector builds a sparse vector from a dense slice, dropping zeros.
+func NewVector(dense []float64) Vector {
+	var v Vector
+	for i, x := range dense {
+		if x != 0 {
+			v.Ind = append(v.Ind, int32(i))
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+// FromMap builds a sorted sparse vector from an index→value map.
+func FromMap(m map[int]float64) Vector {
+	idx := make([]int, 0, len(m))
+	for i := range m {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	v := Vector{
+		Ind: make([]int32, 0, len(idx)),
+		Val: make([]float64, 0, len(idx)),
+	}
+	for _, i := range idx {
+		if m[i] != 0 {
+			v.Ind = append(v.Ind, int32(i))
+			v.Val = append(v.Val, m[i])
+		}
+	}
+	return v
+}
+
+// Len reports the number of stored (non-zero) entries.
+func (v Vector) Len() int { return len(v.Ind) }
+
+// At returns the value at feature index i (0 when absent).
+func (v Vector) At(i int) float64 {
+	k := sort.Search(len(v.Ind), func(j int) bool { return v.Ind[j] >= int32(i) })
+	if k < len(v.Ind) && v.Ind[k] == int32(i) {
+		return v.Val[k]
+	}
+	return 0
+}
+
+// Dense expands the vector into a dense slice of length dim.
+func (v Vector) Dense(dim int) []float64 {
+	d := make([]float64, dim)
+	for k, i := range v.Ind {
+		if int(i) < dim {
+			d[i] = v.Val[k]
+		}
+	}
+	return d
+}
+
+// Dot computes the inner product of two sparse vectors.
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Ind) && j < len(b.Ind) {
+		switch {
+		case a.Ind[i] == b.Ind[j]:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		case a.Ind[i] < b.Ind[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// DotDense computes the inner product of a sparse vector with a dense
+// weight slice. Indices beyond len(w) contribute nothing.
+func DotDense(v Vector, w []float64) float64 {
+	var s float64
+	for k, i := range v.Ind {
+		if int(i) < len(w) {
+			s += v.Val[k] * w[i]
+		}
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm of v.
+func Norm2(v Vector) float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return s
+}
+
+// SquaredDistance returns ||a-b||².
+func SquaredDistance(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Ind) || j < len(b.Ind) {
+		switch {
+		case j >= len(b.Ind) || (i < len(a.Ind) && a.Ind[i] < b.Ind[j]):
+			s += a.Val[i] * a.Val[i]
+			i++
+		case i >= len(a.Ind) || b.Ind[j] < a.Ind[i]:
+			s += b.Val[j] * b.Val[j]
+			j++
+		default:
+			d := a.Val[i] - b.Val[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// Scale returns v multiplied by a scalar, as a new vector.
+func Scale(v Vector, c float64) Vector {
+	out := Vector{Ind: append([]int32(nil), v.Ind...), Val: make([]float64, len(v.Val))}
+	for i, x := range v.Val {
+		out.Val[i] = x * c
+	}
+	return out
+}
+
+// Lerp returns a + t*(b-a) as a sparse vector (used by SMOTE).
+func Lerp(a, b Vector, t float64) Vector {
+	m := make(map[int]float64, a.Len()+b.Len())
+	for k, i := range a.Ind {
+		m[int(i)] += (1 - t) * a.Val[k]
+	}
+	for k, i := range b.Ind {
+		m[int(i)] += t * b.Val[k]
+	}
+	return FromMap(m)
+}
+
+// Dataset is a labeled collection of sparse instances.
+type Dataset struct {
+	// Dim is the feature-space dimensionality; all vector indices are
+	// < Dim.
+	Dim int
+	// X holds the feature vectors, Y the parallel class labels
+	// (Illegitimate or Legitimate), and Names optional instance
+	// identifiers (pharmacy domains). Names may be nil.
+	X     []Vector
+	Y     []int
+	Names []string
+}
+
+// Len reports the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends one instance. name may be empty.
+func (d *Dataset) Add(x Vector, y int, name string) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	d.Names = append(d.Names, name)
+}
+
+// Subset returns a new dataset view containing the given instance
+// indices. Vectors are shared, not copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{Dim: d.Dim}
+	for _, i := range idx {
+		var name string
+		if i < len(d.Names) {
+			name = d.Names[i]
+		}
+		s.Add(d.X[i], d.Y[i], name)
+	}
+	return s
+}
+
+// CountClass returns the number of instances with label y.
+func (d *Dataset) CountClass(y int) int {
+	n := 0
+	for _, l := range d.Y {
+		if l == y {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency: parallel slice lengths, labels
+// in {0,1}, and feature indices within Dim and strictly increasing.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d vectors but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Names != nil && len(d.Names) != len(d.X) {
+		return fmt.Errorf("ml: %d vectors but %d names", len(d.X), len(d.Names))
+	}
+	for n, x := range d.X {
+		if len(x.Ind) != len(x.Val) {
+			return fmt.Errorf("ml: instance %d has %d indices but %d values", n, len(x.Ind), len(x.Val))
+		}
+		prev := int32(-1)
+		for _, i := range x.Ind {
+			if i <= prev {
+				return fmt.Errorf("ml: instance %d has non-increasing index %d", n, i)
+			}
+			if int(i) >= d.Dim {
+				return fmt.Errorf("ml: instance %d index %d out of range (dim %d)", n, i, d.Dim)
+			}
+			prev = i
+		}
+		if d.Y[n] != Illegitimate && d.Y[n] != Legitimate {
+			return fmt.Errorf("ml: instance %d has label %d", n, d.Y[n])
+		}
+	}
+	return nil
+}
+
+// ErrEmptyDataset is returned by classifiers asked to fit zero instances.
+var ErrEmptyDataset = errors.New("ml: empty dataset")
+
+// ErrOneClass is returned by classifiers that require both classes to be
+// present in the training data.
+var ErrOneClass = errors.New("ml: training data contains a single class")
+
+// Classifier is the contract every learner in this repository satisfies.
+//
+// Fit trains the model from scratch on the dataset (repeated calls
+// re-train). Prob returns the estimated probability that the instance is
+// legitimate (the positive class); for learners without a probabilistic
+// model this is a deterministic monotone mapping of the decision score.
+// Predict returns the hard label, which must equal Prob(x) >= 0.5.
+type Classifier interface {
+	Fit(ds *Dataset) error
+	Prob(x Vector) float64
+	Predict(x Vector) int
+}
+
+// Named is implemented by classifiers that expose the abbreviation used
+// in the paper's tables (NBM, NB, SVM, J48, MLP, ...).
+type Named interface {
+	Name() string
+}
+
+// PredictFromProb is a helper for implementing Predict from Prob.
+func PredictFromProb(p float64) int {
+	if p >= 0.5 {
+		return Legitimate
+	}
+	return Illegitimate
+}
+
+// Sigmoid is the logistic function, used by score-based learners to
+// expose a probability-like monotone output.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,226 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVectorDropsZeros(t *testing.T) {
+	v := NewVector([]float64{0, 1.5, 0, -2, 0})
+	if !reflect.DeepEqual(v.Ind, []int32{1, 3}) {
+		t.Errorf("Ind = %v", v.Ind)
+	}
+	if !reflect.DeepEqual(v.Val, []float64{1.5, -2}) {
+		t.Errorf("Val = %v", v.Val)
+	}
+}
+
+func TestFromMapSorted(t *testing.T) {
+	v := FromMap(map[int]float64{5: 2, 1: 3, 9: -1, 4: 0})
+	if !reflect.DeepEqual(v.Ind, []int32{1, 5, 9}) {
+		t.Errorf("Ind = %v", v.Ind)
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := NewVector([]float64{0, 7, 0, 9})
+	if v.At(1) != 7 || v.At(3) != 9 || v.At(0) != 0 || v.At(100) != 0 {
+		t.Errorf("At mismatch: %v", v)
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	d := []float64{0, 1, 0, 0, 2.5, -3}
+	got := NewVector(d).Dense(len(d))
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("Dense = %v, want %v", got, d)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := NewVector([]float64{1, 2, 0, 3})
+	b := NewVector([]float64{0, 4, 5, 6})
+	if got := Dot(a, b); got != 2*4+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDotDense(t *testing.T) {
+	a := NewVector([]float64{1, 2, 0, 3})
+	w := []float64{10, 20, 30} // index 3 out of range of w
+	if got := DotDense(a, w); got != 1*10+2*20 {
+		t.Errorf("DotDense = %v", got)
+	}
+}
+
+func TestSquaredDistance(t *testing.T) {
+	a := NewVector([]float64{1, 0, 2})
+	b := NewVector([]float64{0, 3, 2})
+	if got := SquaredDistance(a, b); got != 1+9 {
+		t.Errorf("SquaredDistance = %v", got)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := NewVector([]float64{1, 0, 4})
+	b := NewVector([]float64{0, 2, 8})
+	if d := SquaredDistance(Lerp(a, b, 0), a); d > 1e-12 {
+		t.Errorf("Lerp(·,·,0) != a (d=%v)", d)
+	}
+	if d := SquaredDistance(Lerp(a, b, 1), b); d > 1e-12 {
+		t.Errorf("Lerp(·,·,1) != b (d=%v)", d)
+	}
+	mid := Lerp(a, b, 0.5)
+	if got := mid.At(2); math.Abs(got-6) > 1e-12 {
+		t.Errorf("midpoint At(2) = %v, want 6", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := NewVector([]float64{1, -2})
+	s := Scale(v, 3)
+	if s.At(0) != 3 || s.At(1) != -6 {
+		t.Errorf("Scale = %v", s)
+	}
+	if v.At(0) != 1 {
+		t.Error("Scale mutated input")
+	}
+}
+
+func TestDatasetSubsetAndCount(t *testing.T) {
+	d := &Dataset{Dim: 2}
+	d.Add(NewVector([]float64{1, 0}), Legitimate, "a")
+	d.Add(NewVector([]float64{0, 1}), Illegitimate, "b")
+	d.Add(NewVector([]float64{1, 1}), Illegitimate, "c")
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Y[0] != Illegitimate || s.Names[1] != "a" {
+		t.Errorf("Subset wrong: %+v", s)
+	}
+	if d.CountClass(Illegitimate) != 2 || d.CountClass(Legitimate) != 1 {
+		t.Error("CountClass wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Dataset{Dim: 3}
+	good.Add(NewVector([]float64{1, 0, 2}), Legitimate, "")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+
+	bad := &Dataset{Dim: 1}
+	bad.Add(Vector{Ind: []int32{0, 0}, Val: []float64{1, 2}}, Legitimate, "")
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate index accepted")
+	}
+
+	oob := &Dataset{Dim: 1}
+	oob.Add(Vector{Ind: []int32{5}, Val: []float64{1}}, Legitimate, "")
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+
+	badLabel := &Dataset{Dim: 1}
+	badLabel.Add(Vector{}, 7, "")
+	if err := badLabel.Validate(); err == nil {
+		t.Error("label 7 accepted")
+	}
+}
+
+func TestClassName(t *testing.T) {
+	if ClassName(Legitimate) != "legitimate" || ClassName(Illegitimate) != "illegitimate" {
+		t.Error("ClassName wrong")
+	}
+}
+
+func TestPredictFromProb(t *testing.T) {
+	if PredictFromProb(0.5) != Legitimate || PredictFromProb(0.49) != Illegitimate {
+		t.Error("threshold wrong")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %v", s)
+	}
+	if Sigmoid(40) <= 0.999 || Sigmoid(-40) >= 0.001 {
+		t.Error("Sigmoid saturation wrong")
+	}
+	// Symmetry: s(-z) = 1 - s(z).
+	for _, z := range []float64{-3, -0.5, 0.1, 2, 10} {
+		if d := math.Abs(Sigmoid(-z) - (1 - Sigmoid(z))); d > 1e-12 {
+			t.Errorf("asymmetric at %v (d=%v)", z, d)
+		}
+	}
+}
+
+// Property: Dot(a,b) computed sparsely equals the dense inner product.
+func TestDotMatchesDenseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		dim := 1 + rng.Intn(30)
+		da, db := make([]float64, dim), make([]float64, dim)
+		for i := range da {
+			if rng.Intn(2) == 0 {
+				da[i] = rng.NormFloat64()
+			}
+			if rng.Intn(2) == 0 {
+				db[i] = rng.NormFloat64()
+			}
+		}
+		want := 0.0
+		for i := range da {
+			want += da[i] * db[i]
+		}
+		got := Dot(NewVector(da), NewVector(db))
+		return math.Abs(got-want) < 1e-9
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatal("sparse dot != dense dot")
+		}
+	}
+}
+
+// Property: SquaredDistance(a,b) == Norm2(a) + Norm2(b) - 2*Dot(a,b).
+func TestDistanceIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func() Vector {
+		dim := 1 + rng.Intn(20)
+		d := make([]float64, dim)
+		for i := range d {
+			if rng.Intn(2) == 0 {
+				d[i] = rng.NormFloat64()
+			}
+		}
+		return NewVector(d)
+	}
+	for i := 0; i < 300; i++ {
+		a, b := gen(), gen()
+		lhs := SquaredDistance(a, b)
+		rhs := Norm2(a) + Norm2(b) - 2*Dot(a, b)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+// Property (testing/quick): Dense→NewVector→Dense is the identity for
+// vectors without NaN.
+func TestSparseDenseRoundTripQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		got := NewVector(vals).Dense(len(vals))
+		return reflect.DeepEqual(got, append([]float64{}, vals...)) || len(vals) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package mlp implements the multilayer perceptron ("MLP" in the paper,
+// Weka's MultilayerPerceptron) used on the N-Gram-Graph similarity
+// features. The network has one sigmoid hidden layer and a single
+// sigmoid output trained with mini-batch stochastic gradient descent on
+// cross-entropy loss, with momentum — mirroring Weka's defaults
+// (learning rate 0.3, momentum 0.2).
+package mlp
+
+import (
+	"math"
+	"math/rand"
+
+	"pharmaverify/internal/ml"
+)
+
+// Network is a 1-hidden-layer perceptron for binary classification.
+type Network struct {
+	// Hidden is the hidden-layer width. When 0, Weka's heuristic
+	// (attributes+classes)/2 is used, with a minimum of 2.
+	Hidden int
+	// LearningRate (default 0.3 when 0) and Momentum (default 0.2 when
+	// negative; 0 is honored) follow Weka's defaults.
+	LearningRate float64
+	Momentum     float64
+	// Epochs is the number of training passes (default 500 when 0).
+	Epochs int
+	// Seed drives weight initialization and shuffling.
+	Seed int64
+	// L2 is an optional weight-decay coefficient.
+	L2 float64
+
+	dim    int
+	hidden int
+	// Layer 1: w1[h][d], b1[h]. Layer 2: w2[h], b2.
+	w1 [][]float64
+	b1 []float64
+	w2 []float64
+	b2 float64
+	// Feature standardization parameters (fit on training data).
+	mean, scale []float64
+	fitted      bool
+}
+
+// New returns an MLP with Weka-like defaults.
+func New() *Network {
+	return &Network{LearningRate: 0.3, Momentum: 0.2, Epochs: 500}
+}
+
+// Name implements ml.Named with the paper's abbreviation.
+func (n *Network) Name() string { return "MLP" }
+
+// Fit trains the network with SGD + momentum.
+func (n *Network) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return ml.ErrEmptyDataset
+	}
+	if ds.CountClass(0) == 0 || ds.CountClass(1) == 0 {
+		return ml.ErrOneClass
+	}
+	n.dim = ds.Dim
+	n.hidden = n.Hidden
+	if n.hidden == 0 {
+		n.hidden = (ds.Dim + 2) / 2
+		if n.hidden < 2 {
+			n.hidden = 2
+		}
+	}
+	lr := n.LearningRate
+	if lr == 0 {
+		lr = 0.3
+	}
+	mom := n.Momentum
+	epochs := n.Epochs
+	if epochs == 0 {
+		epochs = 500
+	}
+
+	// Standardize features: MLPs are scale-sensitive.
+	n.fitScaler(ds)
+	xs := make([][]float64, ds.Len())
+	for i, x := range ds.X {
+		xs[i] = n.transform(x)
+	}
+
+	rng := rand.New(rand.NewSource(n.Seed + 777))
+	n.w1 = make([][]float64, n.hidden)
+	n.b1 = make([]float64, n.hidden)
+	n.w2 = make([]float64, n.hidden)
+	init := 1 / math.Sqrt(float64(ds.Dim))
+	for h := 0; h < n.hidden; h++ {
+		n.w1[h] = make([]float64, ds.Dim)
+		for d := 0; d < ds.Dim; d++ {
+			n.w1[h][d] = (rng.Float64()*2 - 1) * init
+		}
+		n.w2[h] = (rng.Float64()*2 - 1) / math.Sqrt(float64(n.hidden))
+	}
+
+	// Momentum buffers.
+	vw1 := make([][]float64, n.hidden)
+	for h := range vw1 {
+		vw1[h] = make([]float64, ds.Dim)
+	}
+	vb1 := make([]float64, n.hidden)
+	vw2 := make([]float64, n.hidden)
+	var vb2 float64
+
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	hid := make([]float64, n.hidden)
+
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			x := xs[i]
+			// Forward.
+			for h := 0; h < n.hidden; h++ {
+				z := n.b1[h]
+				w := n.w1[h]
+				for d, xv := range x {
+					z += w[d] * xv
+				}
+				hid[h] = ml.Sigmoid(z)
+			}
+			z2 := n.b2
+			for h := 0; h < n.hidden; h++ {
+				z2 += n.w2[h] * hid[h]
+			}
+			out := ml.Sigmoid(z2)
+
+			// Backward (cross-entropy + sigmoid → delta = out - y).
+			y := float64(ds.Y[i])
+			dOut := out - y
+			for h := 0; h < n.hidden; h++ {
+				gw2 := dOut*hid[h] + n.L2*n.w2[h]
+				vw2[h] = mom*vw2[h] - lr*gw2
+				dHid := dOut * n.w2[h] * hid[h] * (1 - hid[h])
+				w, vw := n.w1[h], vw1[h]
+				for d, xv := range x {
+					g := dHid*xv + n.L2*w[d]
+					vw[d] = mom*vw[d] - lr*g
+					w[d] += vw[d]
+				}
+				vb1[h] = mom*vb1[h] - lr*dHid
+				n.b1[h] += vb1[h]
+				n.w2[h] += vw2[h]
+			}
+			vb2 = mom*vb2 - lr*dOut
+			n.b2 += vb2
+		}
+	}
+	n.fitted = true
+	return nil
+}
+
+func (n *Network) fitScaler(ds *ml.Dataset) {
+	n.mean = make([]float64, ds.Dim)
+	n.scale = make([]float64, ds.Dim)
+	cnt := float64(ds.Len())
+	for _, x := range ds.X {
+		for k, i := range x.Ind {
+			n.mean[i] += x.Val[k]
+		}
+	}
+	for d := range n.mean {
+		n.mean[d] /= cnt
+	}
+	for _, x := range ds.X {
+		dense := x.Dense(ds.Dim)
+		for d, v := range dense {
+			diff := v - n.mean[d]
+			n.scale[d] += diff * diff
+		}
+	}
+	for d := range n.scale {
+		s := math.Sqrt(n.scale[d] / cnt)
+		if s < 1e-9 {
+			s = 1
+		}
+		n.scale[d] = s
+	}
+}
+
+func (n *Network) transform(x ml.Vector) []float64 {
+	dense := x.Dense(n.dim)
+	for d, v := range dense {
+		dense[d] = (v - n.mean[d]) / n.scale[d]
+	}
+	return dense
+}
+
+// Prob returns the network output, interpreted as P(legitimate|x).
+func (n *Network) Prob(x ml.Vector) float64 {
+	if !n.fitted {
+		return 0.5
+	}
+	in := n.transform(x)
+	z2 := n.b2
+	for h := 0; h < n.hidden; h++ {
+		z := n.b1[h]
+		w := n.w1[h]
+		for d, xv := range in {
+			z += w[d] * xv
+		}
+		z2 += n.w2[h] * ml.Sigmoid(z)
+	}
+	return ml.Sigmoid(z2)
+}
+
+// Predict thresholds Prob at 0.5.
+func (n *Network) Predict(x ml.Vector) int { return ml.PredictFromProb(n.Prob(x)) }
+
+var (
+	_ ml.Classifier = (*Network)(nil)
+	_ ml.Named      = (*Network)(nil)
+)

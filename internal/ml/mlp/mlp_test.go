@@ -1,0 +1,186 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func xorDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 2}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		y := ml.Illegitimate
+		if a != b {
+			y = ml.Legitimate
+		}
+		ds.Add(ml.NewVector([]float64{
+			float64(a) + rng.NormFloat64()*0.05,
+			float64(b) + rng.NormFloat64()*0.05,
+		}), y, "")
+	}
+	return ds
+}
+
+func trainAcc(clf ml.Classifier, ds *ml.Dataset) float64 {
+	correct := 0
+	for i, x := range ds.X {
+		if clf.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// XOR requires a hidden layer — the defining test for an MLP.
+	ds := xorDataset(400, 1)
+	net := New()
+	net.Hidden = 8
+	net.Epochs = 300
+	net.Seed = 4
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(net, ds); acc < 0.95 {
+		t.Errorf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestMLPLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := &ml.Dataset{Dim: 4}
+	for i := 0; i < 300; i++ {
+		y := i % 2
+		mu := -1.0
+		if y == ml.Legitimate {
+			mu = 1.0
+		}
+		v := []float64{mu + rng.NormFloat64()*0.3, rng.NormFloat64(), mu/2 + rng.NormFloat64()*0.3, rng.NormFloat64()}
+		ds.Add(ml.NewVector(v), y, "")
+	}
+	net := New()
+	net.Epochs = 100
+	net.Seed = 1
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(net, ds); acc < 0.97 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestMLPProbRange(t *testing.T) {
+	ds := xorDataset(100, 3)
+	net := New()
+	net.Epochs = 50
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		p := net.Prob(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Prob = %v", p)
+		}
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	ds := xorDataset(100, 4)
+	a, b := New(), New()
+	a.Epochs, b.Epochs = 50, 50
+	a.Seed, b.Seed = 11, 11
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if a.Prob(x) != b.Prob(x) {
+			t.Fatal("same seed, different networks")
+		}
+	}
+}
+
+func TestMLPScaleInvariance(t *testing.T) {
+	// Internally standardized features: multiplying a feature by 1000
+	// must not destroy learning.
+	rng := rand.New(rand.NewSource(5))
+	ds := &ml.Dataset{Dim: 2}
+	for i := 0; i < 300; i++ {
+		y := i % 2
+		mu := -1.0
+		if y == ml.Legitimate {
+			mu = 1.0
+		}
+		ds.Add(ml.NewVector([]float64{(mu + rng.NormFloat64()*0.2) * 1000, rng.NormFloat64() * 0.001}), y, "")
+	}
+	net := New()
+	net.Epochs = 100
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(net, ds); acc < 0.97 {
+		t.Errorf("accuracy on badly-scaled data = %v", acc)
+	}
+}
+
+func TestMLPDefaultHiddenHeuristic(t *testing.T) {
+	ds := xorDataset(60, 6)
+	net := New()
+	net.Epochs = 10
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if net.hidden != 2 {
+		t.Errorf("hidden = %d, want (2+2)/2 = 2", net.hidden)
+	}
+}
+
+func TestMLPErrors(t *testing.T) {
+	if err := New().Fit(&ml.Dataset{Dim: 1}); err != ml.ErrEmptyDataset {
+		t.Errorf("empty: %v", err)
+	}
+	one := &ml.Dataset{Dim: 1}
+	one.Add(ml.NewVector([]float64{1}), ml.Legitimate, "")
+	if err := New().Fit(one); err != ml.ErrOneClass {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestMLPUnfittedNeutral(t *testing.T) {
+	if p := New().Prob(ml.NewVector([]float64{1})); p != 0.5 {
+		t.Errorf("unfitted Prob = %v", p)
+	}
+}
+
+func TestMLPPredictConsistent(t *testing.T) {
+	ds := xorDataset(100, 7)
+	net := New()
+	net.Epochs = 30
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if net.Predict(x) != ml.PredictFromProb(net.Prob(x)) {
+			t.Fatal("Predict inconsistent with Prob")
+		}
+	}
+}
+
+func BenchmarkMLPFit(b *testing.B) {
+	ds := xorDataset(200, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := New()
+		net.Epochs = 50
+		if err := net.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

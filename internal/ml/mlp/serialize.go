@@ -1,0 +1,65 @@
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// networkState is the JSON wire form of a trained Network.
+type networkState struct {
+	Dim    int         `json:"dim"`
+	Hidden int         `json:"hidden"`
+	W1     [][]float64 `json:"w1"`
+	B1     []float64   `json:"b1"`
+	W2     []float64   `json:"w2"`
+	B2     float64     `json:"b2"`
+	Mean   []float64   `json:"mean"`
+	Scale  []float64   `json:"scale"`
+}
+
+// MarshalJSON serializes a fitted network (weights and the feature
+// standardization parameters).
+func (n *Network) MarshalJSON() ([]byte, error) {
+	if !n.fitted {
+		return nil, fmt.Errorf("mlp: cannot marshal unfitted Network")
+	}
+	return json.Marshal(networkState{
+		Dim:    n.dim,
+		Hidden: n.hidden,
+		W1:     n.w1,
+		B1:     n.b1,
+		W2:     n.w2,
+		B2:     n.b2,
+		Mean:   n.mean,
+		Scale:  n.scale,
+	})
+}
+
+// UnmarshalJSON restores a network persisted with MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var s networkState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("mlp: decode Network: %w", err)
+	}
+	if len(s.W1) != s.Hidden || len(s.B1) != s.Hidden || len(s.W2) != s.Hidden {
+		return fmt.Errorf("mlp: state layer sizes inconsistent")
+	}
+	for _, row := range s.W1 {
+		if len(row) != s.Dim {
+			return fmt.Errorf("mlp: state weight row has %d entries for dim %d", len(row), s.Dim)
+		}
+	}
+	if len(s.Mean) != s.Dim || len(s.Scale) != s.Dim {
+		return fmt.Errorf("mlp: state scaler size mismatch")
+	}
+	n.dim = s.Dim
+	n.hidden = s.Hidden
+	n.w1 = s.W1
+	n.b1 = s.B1
+	n.w2 = s.W2
+	n.b2 = s.B2
+	n.mean = s.Mean
+	n.scale = s.Scale
+	n.fitted = true
+	return nil
+}

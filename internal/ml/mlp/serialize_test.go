@@ -1,0 +1,49 @@
+package mlp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNetworkSerializeRoundTrip(t *testing.T) {
+	ds := xorDataset(200, 80)
+	net := New()
+	net.Hidden = 6
+	net.Epochs = 100
+	net.Seed = 5
+	if err := net.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if net.Prob(x) != restored.Prob(x) {
+			t.Fatal("outputs changed after round trip")
+		}
+	}
+}
+
+func TestNetworkMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(New()); err == nil {
+		t.Error("unfitted marshal must fail")
+	}
+}
+
+func TestNetworkUnmarshalBadShapes(t *testing.T) {
+	cases := []string{
+		`{"dim":2,"hidden":2,"w1":[[1,2]],"b1":[0,0],"w2":[1,1],"mean":[0,0],"scale":[1,1]}`, // w1 rows
+		`{"dim":2,"hidden":1,"w1":[[1]],"b1":[0],"w2":[1],"mean":[0,0],"scale":[1,1]}`,       // w1 cols
+		`{"dim":2,"hidden":1,"w1":[[1,2]],"b1":[0],"w2":[1],"mean":[0],"scale":[1,1]}`,       // scaler
+	}
+	for i, bad := range cases {
+		if err := json.Unmarshal([]byte(bad), New()); err == nil {
+			t.Errorf("case %d: malformed state accepted", i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func imbalanced(nMin, nMaj int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 3}
+	for i := 0; i < nMin; i++ {
+		ds.Add(ml.NewVector([]float64{1 + rng.NormFloat64()*0.1, rng.Float64(), 0}), ml.Legitimate, "L")
+	}
+	for i := 0; i < nMaj; i++ {
+		ds.Add(ml.NewVector([]float64{-1 + rng.NormFloat64()*0.1, rng.Float64(), 0}), ml.Illegitimate, "I")
+	}
+	return ds
+}
+
+func TestUndersampleBalances(t *testing.T) {
+	ds := imbalanced(20, 160, 1)
+	out := Undersample(ds, rand.New(rand.NewSource(2)))
+	if out.CountClass(ml.Legitimate) != 20 || out.CountClass(ml.Illegitimate) != 20 {
+		t.Errorf("counts = %d/%d, want 20/20",
+			out.CountClass(ml.Legitimate), out.CountClass(ml.Illegitimate))
+	}
+	if ds.Len() != 180 {
+		t.Error("input mutated")
+	}
+}
+
+func TestUndersampleKeepsAllMinority(t *testing.T) {
+	ds := imbalanced(10, 50, 3)
+	out := Undersample(ds, rand.New(rand.NewSource(4)))
+	for i, y := range out.Y {
+		if y == ml.Legitimate && out.Names[i] != "L" {
+			t.Fatal("minority instance corrupted")
+		}
+	}
+	if out.CountClass(ml.Legitimate) != 10 {
+		t.Error("minority instances dropped")
+	}
+}
+
+func TestOversampleBalances(t *testing.T) {
+	ds := imbalanced(15, 90, 5)
+	out := Oversample(ds, rand.New(rand.NewSource(6)))
+	if out.CountClass(ml.Legitimate) != 90 || out.CountClass(ml.Illegitimate) != 90 {
+		t.Errorf("counts = %d/%d, want 90/90",
+			out.CountClass(ml.Legitimate), out.CountClass(ml.Illegitimate))
+	}
+	// Duplicates must be exact copies of existing minority vectors.
+	for i, y := range out.Y {
+		if y != ml.Legitimate {
+			continue
+		}
+		found := false
+		for j := 0; j < 15; j++ {
+			if ml.SquaredDistance(out.X[i], ds.X[j]) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("oversampled instance is not a copy")
+		}
+	}
+}
+
+func TestSMOTEBalancesByDefault(t *testing.T) {
+	ds := imbalanced(20, 100, 7)
+	out := SMOTE(ds, rand.New(rand.NewSource(8)), SMOTEConfig{K: 5})
+	if out.CountClass(ml.Legitimate) != 100 {
+		t.Errorf("minority count = %d, want 100", out.CountClass(ml.Legitimate))
+	}
+	if out.Len() != 200 {
+		t.Errorf("total = %d, want 120 originals + 80 synthetics = 200", out.Len())
+	}
+}
+
+func TestSMOTESyntheticInsideConvexHull(t *testing.T) {
+	// All minority points have feature0 near +1, so synthetics must too:
+	// interpolation cannot escape the segment endpoints.
+	ds := imbalanced(20, 60, 9)
+	out := SMOTE(ds, rand.New(rand.NewSource(10)), SMOTEConfig{K: 3})
+	for i, name := range out.Names {
+		if name != "smote" {
+			continue
+		}
+		v := out.X[i].At(0)
+		if v < 0.5 || v > 1.5 {
+			t.Fatalf("synthetic feature0 = %v escapes minority region", v)
+		}
+		if out.Y[i] != ml.Legitimate {
+			t.Fatal("synthetic has wrong class")
+		}
+	}
+}
+
+func TestSMOTEPercent(t *testing.T) {
+	ds := imbalanced(10, 100, 11)
+	out := SMOTE(ds, rand.New(rand.NewSource(12)), SMOTEConfig{K: 3, Percent: 200})
+	if got := out.CountClass(ml.Legitimate); got != 30 {
+		t.Errorf("minority = %d, want 10 + 200%% = 30", got)
+	}
+}
+
+func TestSMOTETooFewMinority(t *testing.T) {
+	ds := imbalanced(1, 10, 13)
+	out := SMOTE(ds, rand.New(rand.NewSource(14)), SMOTEConfig{})
+	if out.Len() != ds.Len() {
+		t.Error("SMOTE with one minority instance must be a no-op")
+	}
+}
+
+func TestSMOTEKCappedAtMinoritySize(t *testing.T) {
+	ds := imbalanced(3, 30, 15)
+	// K=10 > 2 available neighbors: must not panic.
+	out := SMOTE(ds, rand.New(rand.NewSource(16)), SMOTEConfig{K: 10})
+	if out.CountClass(ml.Legitimate) != 30 {
+		t.Errorf("minority = %d", out.CountClass(ml.Legitimate))
+	}
+}
+
+func TestNearestNeighborsOrdering(t *testing.T) {
+	ds := &ml.Dataset{Dim: 1}
+	for _, v := range []float64{0, 1, 3, 10} {
+		ds.Add(ml.NewVector([]float64{v}), ml.Legitimate, "")
+	}
+	nn := nearestNeighbors(ds, []int{0, 1, 2, 3}, 2)
+	// Neighbors of instance 0 (value 0): 1 (d=1) then 2 (d=9).
+	if nn[0][0] != 1 || nn[0][1] != 2 {
+		t.Errorf("neighbors of 0 = %v", nn[0])
+	}
+	// Neighbors of instance 3 (value 10): 2 (d=49) then 1 (d=81).
+	if nn[3][0] != 2 || nn[3][1] != 1 {
+		t.Errorf("neighbors of 3 = %v", nn[3])
+	}
+}
+
+func TestUndersampleDeterministic(t *testing.T) {
+	ds := imbalanced(10, 80, 17)
+	a := Undersample(ds, rand.New(rand.NewSource(5)))
+	b := Undersample(ds, rand.New(rand.NewSource(5)))
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.X {
+		if math.Abs(a.X[i].At(0)-b.X[i].At(0)) > 0 {
+			t.Fatal("same seed, different sample")
+		}
+	}
+}
+
+func TestMinorityMajorityFlipped(t *testing.T) {
+	// When legitimate is the majority, undersampling must shrink it.
+	rng := rand.New(rand.NewSource(18))
+	ds := &ml.Dataset{Dim: 1}
+	for i := 0; i < 50; i++ {
+		ds.Add(ml.NewVector([]float64{rng.Float64()}), ml.Legitimate, "")
+	}
+	for i := 0; i < 5; i++ {
+		ds.Add(ml.NewVector([]float64{rng.Float64()}), ml.Illegitimate, "")
+	}
+	out := Undersample(ds, rng)
+	if out.CountClass(ml.Legitimate) != 5 || out.CountClass(ml.Illegitimate) != 5 {
+		t.Errorf("counts = %d/%d", out.CountClass(ml.Legitimate), out.CountClass(ml.Illegitimate))
+	}
+}

@@ -1,0 +1,51 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// linearState is the JSON wire form of a trained Linear SVM.
+type linearState struct {
+	C         float64   `json:"c"`
+	Calibrate bool      `json:"calibrate"`
+	Dim       int       `json:"dim"`
+	W         []float64 `json:"w"` // dim weights followed by the bias
+	A         float64   `json:"plattA"`
+	B         float64   `json:"plattB"`
+}
+
+// MarshalJSON serializes a fitted SVM (weights, bias and Platt
+// calibration parameters).
+func (s *Linear) MarshalJSON() ([]byte, error) {
+	if !s.fit {
+		return nil, fmt.Errorf("svm: cannot marshal unfitted Linear")
+	}
+	return json.Marshal(linearState{
+		C:         s.C,
+		Calibrate: s.Calibrate,
+		Dim:       s.dim,
+		W:         s.w,
+		A:         s.a,
+		B:         s.b,
+	})
+}
+
+// UnmarshalJSON restores an SVM persisted with MarshalJSON.
+func (s *Linear) UnmarshalJSON(data []byte) error {
+	var st linearState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("svm: decode Linear: %w", err)
+	}
+	if len(st.W) != st.Dim+1 {
+		return fmt.Errorf("svm: state has %d weights for dim %d", len(st.W), st.Dim)
+	}
+	s.C = st.C
+	s.Calibrate = st.Calibrate
+	s.dim = st.Dim
+	s.w = st.W
+	s.a = st.A
+	s.b = st.B
+	s.fit = true
+	return nil
+}

@@ -1,0 +1,43 @@
+package svm
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLinearSerializeRoundTrip(t *testing.T) {
+	ds := linearlySeparable(150, 60, 1)
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewLinear()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if clf.Decision(x) != restored.Decision(x) {
+			t.Fatal("decision values changed after round trip")
+		}
+		if clf.Prob(x) != restored.Prob(x) {
+			t.Fatal("calibrated probabilities changed after round trip")
+		}
+	}
+}
+
+func TestLinearMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(NewLinear()); err == nil {
+		t.Error("unfitted marshal must fail")
+	}
+}
+
+func TestLinearUnmarshalBadShape(t *testing.T) {
+	bad := `{"c":1,"dim":3,"w":[1,2]}`
+	if err := json.Unmarshal([]byte(bad), NewLinear()); err == nil {
+		t.Error("weight/dim mismatch must fail")
+	}
+}

@@ -1,0 +1,272 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func linearlySeparable(n int, seed int64, margin float64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 5}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		shift := -margin
+		if y == ml.Legitimate {
+			shift = margin
+		}
+		v := make([]float64, 5)
+		v[0] = shift + rng.NormFloat64()*0.2
+		v[1] = shift/2 + rng.NormFloat64()*0.2
+		for j := 2; j < 5; j++ {
+			v[j] = rng.NormFloat64()
+		}
+		ds.Add(ml.NewVector(v), y, "")
+	}
+	return ds
+}
+
+func trainAcc(clf ml.Classifier, ds *ml.Dataset) float64 {
+	correct := 0
+	for i, x := range ds.X {
+		if clf.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestLinearSeparableData(t *testing.T) {
+	ds := linearlySeparable(300, 1, 1.5)
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.98 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestLinearSparseTextLike(t *testing.T) {
+	// High-dimensional sparse data: class decided by presence of a few
+	// indicator terms.
+	rng := rand.New(rand.NewSource(2))
+	ds := &ml.Dataset{Dim: 1000}
+	for i := 0; i < 400; i++ {
+		y := i % 2
+		m := map[int]float64{}
+		for k := 0; k < 15; k++ {
+			m[rng.Intn(1000)] = 1 + rng.Float64()
+		}
+		if y == ml.Legitimate {
+			m[1] = 2
+			m[2] = 1.5
+		} else {
+			m[3] = 2
+			m[4] = 1.5
+		}
+		ds.Add(ml.FromMap(m), y, "")
+	}
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.97 {
+		t.Errorf("sparse accuracy = %v", acc)
+	}
+}
+
+func TestLinearDeterministic(t *testing.T) {
+	ds := linearlySeparable(200, 3, 1)
+	a, b := NewLinear(), NewLinear()
+	a.Seed, b.Seed = 9, 9
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.w {
+		if a.w[i] != b.w[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestLinearCalibratedProbMonotone(t *testing.T) {
+	ds := linearlySeparable(300, 4, 1.5)
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Probability must increase with the decision value.
+	xLow := ml.NewVector([]float64{-3, -1.5, 0, 0, 0})
+	xHigh := ml.NewVector([]float64{3, 1.5, 0, 0, 0})
+	pl, ph := clf.Prob(xLow), clf.Prob(xHigh)
+	if !(pl < 0.5 && ph > 0.5 && pl < ph) {
+		t.Errorf("calibration not monotone: p(low)=%v p(high)=%v", pl, ph)
+	}
+}
+
+func TestLinearUncalibratedHardProb(t *testing.T) {
+	ds := linearlySeparable(200, 5, 1.5)
+	clf := NewLinear()
+	clf.Calibrate = false
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		p := clf.Prob(x)
+		if p != 0 && p != 1 {
+			t.Fatalf("uncalibrated Prob must be 0/1, got %v", p)
+		}
+		if ml.PredictFromProb(p) != clf.Predict(x) {
+			t.Fatal("hard prob disagrees with Predict")
+		}
+	}
+}
+
+func TestLinearPredictMatchesDecisionSign(t *testing.T) {
+	ds := linearlySeparable(200, 6, 0.5)
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		want := ml.Illegitimate
+		if clf.Decision(x) >= 0 {
+			want = ml.Legitimate
+		}
+		if clf.Predict(x) != want {
+			t.Fatal("Predict inconsistent with Decision")
+		}
+	}
+}
+
+func TestLinearBiasLearned(t *testing.T) {
+	// All-positive features, class depends on magnitude: needs a bias.
+	rng := rand.New(rand.NewSource(7))
+	ds := &ml.Dataset{Dim: 1}
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		v := 1 + rng.Float64()*0.5
+		if y == ml.Legitimate {
+			v = 3 + rng.Float64()*0.5
+		}
+		ds.Add(ml.NewVector([]float64{v}), y, "")
+	}
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.99 {
+		t.Errorf("accuracy = %v (bias not learned?)", acc)
+	}
+	if clf.Bias() == 0 {
+		t.Error("bias is exactly zero on shifted data")
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if err := NewLinear().Fit(&ml.Dataset{Dim: 1}); err != ml.ErrEmptyDataset {
+		t.Errorf("empty: %v", err)
+	}
+	one := &ml.Dataset{Dim: 1}
+	one.Add(ml.NewVector([]float64{1}), ml.Legitimate, "")
+	if err := NewLinear().Fit(one); err != ml.ErrOneClass {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestLinearUnfitted(t *testing.T) {
+	clf := NewLinear()
+	if p := clf.Prob(ml.NewVector([]float64{1})); p != 0.5 {
+		t.Errorf("unfitted Prob = %v", p)
+	}
+	if w := clf.Weights(); w != nil {
+		t.Error("unfitted Weights must be nil")
+	}
+}
+
+func TestLinearWeightsCopied(t *testing.T) {
+	ds := linearlySeparable(100, 8, 1)
+	clf := NewLinear()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	w := clf.Weights()
+	w[0] += 1000
+	if clf.Weights()[0] == w[0] {
+		t.Error("Weights returned internal slice")
+	}
+}
+
+func TestLinearCBoundsAlpha(t *testing.T) {
+	// Noisy, overlapping classes: small C must not blow up weights.
+	rng := rand.New(rand.NewSource(9))
+	ds := &ml.Dataset{Dim: 2}
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		mu := -0.1
+		if y == ml.Legitimate {
+			mu = 0.1
+		}
+		ds.Add(ml.NewVector([]float64{mu + rng.NormFloat64(), rng.NormFloat64()}), y, "")
+	}
+	small := &Linear{C: 0.01, Calibrate: true}
+	if err := small.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	norm := 0.0
+	for _, w := range small.Weights() {
+		norm += w * w
+	}
+	if norm > 1 {
+		t.Errorf("small-C weight norm = %v, expected heavily regularized", norm)
+	}
+}
+
+func TestPlattFitSeparated(t *testing.T) {
+	scores := []float64{-2, -1.5, -1, 1, 1.5, 2}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	a, b := plattFit(scores, labels)
+	// P(y=1|f) = sigmoid(-(a f + b)) must be increasing in f => a < 0.
+	if a >= 0 {
+		t.Errorf("Platt slope a = %v, want negative", a)
+	}
+	p := func(f float64) float64 { return ml.Sigmoid(-(a*f + b)) }
+	if !(p(2) > 0.5 && p(-2) < 0.5) {
+		t.Errorf("calibrated probs wrong: p(2)=%v p(-2)=%v", p(2), p(-2))
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		t.Error("NaN Platt parameters")
+	}
+}
+
+func BenchmarkLinearFitSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	ds := &ml.Dataset{Dim: 2000}
+	for i := 0; i < 500; i++ {
+		m := map[int]float64{}
+		for k := 0; k < 40; k++ {
+			m[rng.Intn(2000)] = rng.Float64()
+		}
+		if i%2 == ml.Legitimate {
+			m[0] = 2
+		} else {
+			m[1] = 2
+		}
+		ds.Add(ml.FromMap(m), i%2, "")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := NewLinear()
+		clf.MaxIter = 100
+		if err := clf.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

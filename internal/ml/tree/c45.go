@@ -1,0 +1,486 @@
+// Package tree implements the C4.5 decision-tree learner (Weka's "J48")
+// used by the paper on both TF-IDF and N-Gram-Graph features.
+//
+// The implementation follows Quinlan's C4.5 for continuous attributes:
+// binary splits at midpoints between consecutive distinct values, chosen
+// by gain ratio with the MDL threshold-count correction, and pessimistic
+// error-based pruning with the standard confidence factor CF=0.25
+// (subtree replacement). Training data is stored column-sparse so that
+// split search on high-dimensional TF-IDF vectors stays tractable.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pharmaverify/internal/ml"
+)
+
+// C45 is a binary-class C4.5 decision tree.
+type C45 struct {
+	// MinLeaf is the minimum number of instances per leaf (default 2,
+	// Weka's -M 2).
+	MinLeaf int
+	// MaxDepth bounds tree depth (0 means unlimited).
+	MaxDepth int
+	// CF is the pruning confidence factor (default 0.25 when 0; set
+	// negative to disable pruning).
+	CF float64
+
+	root *node
+	dim  int
+}
+
+// NewC45 returns a J48-style tree with Weka's default parameters.
+func NewC45() *C45 { return &C45{MinLeaf: 2, CF: 0.25} }
+
+// Name implements ml.Named with the paper's abbreviation.
+func (t *C45) Name() string { return "J48" }
+
+type node struct {
+	// Internal nodes.
+	feature   int
+	threshold float64 // value <= threshold goes left
+	left      *node
+	right     *node
+	// All nodes.
+	counts [2]int // training class distribution
+	leaf   bool
+}
+
+func (n *node) total() int { return n.counts[0] + n.counts[1] }
+
+func (n *node) majority() int {
+	if n.counts[ml.Legitimate] > n.counts[ml.Illegitimate] {
+		return ml.Legitimate
+	}
+	return ml.Illegitimate
+}
+
+func (n *node) errors() int { return n.total() - n.counts[n.majority()] }
+
+// column is one feature's non-zero entries in CSC form.
+type column struct {
+	rows []int32
+	vals []float64
+}
+
+type builder struct {
+	cols    []column
+	labels  []int
+	minLeaf int
+	maxDep  int
+	// member marks which rows belong to the node being split, using a
+	// generation counter to avoid clearing between nodes.
+	member []int
+	gen    int
+}
+
+// Fit grows and prunes the tree.
+func (t *C45) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return ml.ErrEmptyDataset
+	}
+	if ds.CountClass(0) == 0 || ds.CountClass(1) == 0 {
+		return ml.ErrOneClass
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	t.dim = ds.Dim
+
+	b := &builder{
+		cols:    make([]column, ds.Dim),
+		labels:  ds.Y,
+		minLeaf: minLeaf,
+		maxDep:  t.MaxDepth,
+		member:  make([]int, ds.Len()),
+	}
+	for i, x := range ds.X {
+		for k, f := range x.Ind {
+			c := &b.cols[f]
+			c.rows = append(c.rows, int32(i))
+			c.vals = append(c.vals, x.Val[k])
+		}
+	}
+
+	rows := make([]int, ds.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	t.root = b.build(rows, 0)
+
+	cf := t.CF
+	if cf == 0 {
+		cf = 0.25
+	}
+	if cf > 0 {
+		prune(t.root, cf)
+	}
+	return nil
+}
+
+func (b *builder) build(rows []int, depth int) *node {
+	n := &node{}
+	for _, r := range rows {
+		n.counts[b.labels[r]]++
+	}
+	if n.counts[0] == 0 || n.counts[1] == 0 ||
+		len(rows) < 2*b.minLeaf ||
+		(b.maxDep > 0 && depth >= b.maxDep) {
+		n.leaf = true
+		return n
+	}
+
+	feat, thr, ok := b.bestSplit(rows, n.counts)
+	if !ok {
+		n.leaf = true
+		return n
+	}
+
+	var left, right []int
+	for _, r := range rows {
+		if b.valueAt(feat, r) <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		n.leaf = true
+		return n
+	}
+	n.feature = feat
+	n.threshold = thr
+	n.left = b.build(left, depth+1)
+	n.right = b.build(right, depth+1)
+	return n
+}
+
+// valueAt fetches the (possibly zero) value of feature f for row r by
+// binary search in the CSC column.
+func (b *builder) valueAt(f, r int) float64 {
+	c := &b.cols[f]
+	k := sort.Search(len(c.rows), func(i int) bool { return c.rows[i] >= int32(r) })
+	if k < len(c.rows) && c.rows[k] == int32(r) {
+		return c.vals[k]
+	}
+	return 0
+}
+
+type valLabel struct {
+	v float64
+	y int
+}
+
+// bestSplit searches all features for the split with the highest gain
+// ratio (subject to positive MDL-corrected information gain).
+func (b *builder) bestSplit(rows []int, counts [2]int) (feat int, thr float64, ok bool) {
+	total := len(rows)
+	parentH := entropy(counts[0], counts[1])
+
+	// Mark membership for this node.
+	b.gen++
+	for _, r := range rows {
+		b.member[r] = b.gen
+	}
+
+	bestRatio := -1.0
+	scratch := make([]valLabel, 0, total)
+
+	for f := range b.cols {
+		col := &b.cols[f]
+		if len(col.rows) == 0 {
+			continue // all-zero column cannot split
+		}
+		scratch = scratch[:0]
+		var nzCount [2]int
+		for k, r := range col.rows {
+			if b.member[r] == b.gen {
+				scratch = append(scratch, valLabel{col.vals[k], b.labels[r]})
+				nzCount[b.labels[r]]++
+			}
+		}
+		zeroCounts := [2]int{counts[0] - nzCount[0], counts[1] - nzCount[1]}
+		nZeros := zeroCounts[0] + zeroCounts[1]
+		if len(scratch) == 0 {
+			continue
+		}
+		// Insert the implicit zero block (if any rows have value 0).
+		if nZeros > 0 {
+			// Represent zeros as a single aggregated pseudo-entry; the
+			// sweep below handles aggregated blocks via counts.
+			scratch = append(scratch, valLabel{0, -1}) // sentinel, expanded in sweep
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].v < scratch[j].v })
+
+		_, r, th, found := sweepSplits(scratch, zeroCounts, counts, parentH, total, b.minLeaf)
+		if found && r > bestRatio {
+			bestRatio = r
+			feat = f
+			thr = th
+			ok = true
+		}
+	}
+	return feat, thr, ok
+}
+
+// sweepSplits scans sorted (value,label) pairs, where a pair with label
+// -1 is the aggregated block of zero-valued instances with class counts
+// zeroCounts. It returns the best (gain, gainRatio, threshold).
+func sweepSplits(sorted []valLabel, zeroCounts, counts [2]int, parentH float64, total, minLeaf int) (bestGain, bestRatio, bestThr float64, ok bool) {
+	var left [2]int
+	distinct := countDistinct(sorted)
+	if distinct < 2 {
+		return 0, 0, 0, false
+	}
+	// MDL correction for evaluating distinct-1 candidate thresholds.
+	penalty := math.Log2(float64(distinct-1)) / float64(total)
+
+	bestGain, bestRatio = -1, -1
+	i := 0
+	for i < len(sorted) {
+		// Consume the block of equal values.
+		v := sorted[i].v
+		for i < len(sorted) && sorted[i].v == v {
+			if sorted[i].y == -1 {
+				left[0] += zeroCounts[0]
+				left[1] += zeroCounts[1]
+			} else {
+				left[sorted[i].y]++
+			}
+			i++
+		}
+		if i >= len(sorted) {
+			break // no split after the last block
+		}
+		nL := left[0] + left[1]
+		nR := total - nL
+		if nL < minLeaf || nR < minLeaf {
+			continue
+		}
+		right := [2]int{counts[0] - left[0], counts[1] - left[1]}
+		hl := entropy(left[0], left[1])
+		hr := entropy(right[0], right[1])
+		pL := float64(nL) / float64(total)
+		gain := parentH - pL*hl - (1-pL)*hr - penalty
+		if gain <= 1e-12 {
+			continue
+		}
+		splitInfo := binaryEntropy(pL)
+		if splitInfo <= 1e-12 {
+			continue
+		}
+		ratio := gain / splitInfo
+		if ratio > bestRatio {
+			bestRatio = ratio
+			bestGain = gain
+			bestThr = (v + sorted[i].v) / 2
+			ok = true
+		}
+	}
+	return bestGain, bestRatio, bestThr, ok
+}
+
+func countDistinct(sorted []valLabel) int {
+	d := 0
+	for i := 0; i < len(sorted); i++ {
+		if i == 0 || sorted[i].v != sorted[i-1].v {
+			d++
+		}
+	}
+	return d
+}
+
+func entropy(a, b int) float64 {
+	n := a + b
+	if n == 0 || a == 0 || b == 0 {
+		return 0
+	}
+	return binaryEntropy(float64(a) / float64(n))
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// prune applies C4.5 pessimistic subtree replacement bottom-up and
+// returns the estimated error of the (possibly replaced) subtree.
+func prune(n *node, cf float64) float64 {
+	if n.leaf {
+		return pessimisticErrors(float64(n.total()), float64(n.errors()), cf)
+	}
+	subtreeErr := prune(n.left, cf) + prune(n.right, cf)
+	leafErr := pessimisticErrors(float64(n.total()), float64(n.errors()), cf)
+	if leafErr <= subtreeErr+0.1 {
+		n.leaf = true
+		n.left, n.right = nil, nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// pessimisticErrors returns e plus the pessimistic correction addErrs
+// (Weka's Stats.addErrs): the upper confidence bound on the number of
+// misclassifications among n instances with e observed errors.
+func pessimisticErrors(n, e, cf float64) float64 {
+	return e + addErrs(n, e, cf)
+}
+
+func addErrs(n, e, cf float64) float64 {
+	if cf > 0.5 {
+		cf = 0.5
+	}
+	if n <= 0 {
+		return 0
+	}
+	if e < 1 {
+		base := n * (1 - math.Pow(cf, 1/n))
+		if e == 0 {
+			return base
+		}
+		return base + e*(addErrs(n, 1, cf)-base)
+	}
+	if e+0.5 >= n {
+		return math.Max(n-e, 0)
+	}
+	z := normalQuantile(1 - cf)
+	f := (e + 0.5) / n
+	r := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return r*n - e
+}
+
+// normalQuantile is the inverse standard-normal CDF (Acklam's rational
+// approximation; |relative error| < 1.15e-9 on (0,1)).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("tree: quantile out of range")
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Prob returns the Laplace-smoothed legitimate fraction of the leaf
+// reached by x.
+func (t *C45) Prob(x ml.Vector) float64 {
+	if t.root == nil {
+		return 0.5
+	}
+	n := t.root
+	for !n.leaf {
+		if x.At(n.feature) <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return (float64(n.counts[ml.Legitimate]) + 1) / (float64(n.total()) + 2)
+}
+
+// Predict returns the majority class of the reached leaf.
+func (t *C45) Predict(x ml.Vector) int {
+	if t.root == nil {
+		return ml.Illegitimate
+	}
+	n := t.root
+	for !n.leaf {
+		if x.At(n.feature) <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.majority()
+}
+
+// String renders the fitted tree in Weka's J48 text style, with
+// attribute names supplied by name (nil falls back to "a<i>"):
+//
+//	a1 <= 0.5: illegitimate (120/3)
+//	a1 > 0.5
+//	|   a0 <= 1.2: legitimate (40)
+//	...
+func (t *C45) String() string { return t.Render(nil) }
+
+// Render is String with a feature-name lookup (e.g. vocabulary terms).
+func (t *C45) Render(name func(feature int) string) string {
+	if t.root == nil {
+		return "C45(unfitted)"
+	}
+	if name == nil {
+		name = func(f int) string { return "a" + strconv.Itoa(f) }
+	}
+	var b strings.Builder
+	renderNode(&b, t.root, name, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *node, name func(int) string, depth int) {
+	indent := strings.Repeat("|   ", depth)
+	if n.leaf {
+		fmt.Fprintf(b, "%s: %s (%d", indent, ml.ClassName(n.majority()), n.total())
+		if e := n.errors(); e > 0 {
+			fmt.Fprintf(b, "/%d", e)
+		}
+		b.WriteString(")\n")
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= %.4g\n", indent, name(n.feature), n.threshold)
+	renderNode(b, n.left, name, depth+1)
+	fmt.Fprintf(b, "%s%s > %.4g\n", indent, name(n.feature), n.threshold)
+	renderNode(b, n.right, name, depth+1)
+}
+
+// Size reports the number of nodes in the fitted tree (0 if unfitted).
+func (t *C45) Size() int { return count(t.root) }
+
+// Depth reports the depth of the fitted tree (a lone leaf has depth 1).
+func (t *C45) Depth() int { return depth(t.root) }
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + count(n.left) + count(n.right)
+}
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+var (
+	_ ml.Classifier = (*C45)(nil)
+	_ ml.Named      = (*C45)(nil)
+)

@@ -1,0 +1,312 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+// andDataset labels an instance legitimate iff both features exceed 0.5
+// — a conjunction that requires a depth-2 tree (a single linear split on
+// either feature cannot express it) while still giving C4.5 positive
+// information gain at the root.
+func andDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 2}
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		y := ml.Illegitimate
+		if a > 0.5 && b > 0.5 {
+			y = ml.Legitimate
+		}
+		ds.Add(ml.NewVector([]float64{a, b}), y, "")
+	}
+	return ds
+}
+
+func trainAcc(clf ml.Classifier, ds *ml.Dataset) float64 {
+	correct := 0
+	for i, x := range ds.X {
+		if clf.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestC45LearnsConjunction(t *testing.T) {
+	// The AND concept is non-linear in a single split: the tree must use
+	// at least two levels and should fit it almost perfectly.
+	ds := andDataset(400, 1)
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.95 {
+		t.Errorf("AND accuracy = %v", acc)
+	}
+	if clf.Depth() < 3 {
+		t.Errorf("AND needs two internal levels (depth >= 3), got %d", clf.Depth())
+	}
+}
+
+func TestC45AxisAlignedSplit(t *testing.T) {
+	ds := &ml.Dataset{Dim: 3}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		y := ml.Illegitimate
+		if v > 0.6 {
+			y = ml.Legitimate
+		}
+		ds.Add(ml.NewVector([]float64{rng.NormFloat64(), v, rng.NormFloat64()}), y, "")
+	}
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.98 {
+		t.Errorf("threshold accuracy = %v", acc)
+	}
+	if clf.root.feature != 1 {
+		t.Errorf("root split on feature %d, want 1", clf.root.feature)
+	}
+	if clf.root.threshold < 0.5 || clf.root.threshold > 0.7 {
+		t.Errorf("root threshold = %v, want ~0.6", clf.root.threshold)
+	}
+}
+
+func TestC45SparseZeroHandling(t *testing.T) {
+	// Class determined by whether a sparse indicator feature is present
+	// (zero vs non-zero) — the implicit-zero block must be split correctly.
+	ds := &ml.Dataset{Dim: 50}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		m := map[int]float64{}
+		y := i % 2
+		if y == ml.Legitimate {
+			m[7] = 1 + rng.Float64()
+		}
+		m[rng.Intn(50)] = rng.Float64() * 0.1
+		ds.Add(ml.FromMap(m), y, "")
+	}
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAcc(clf, ds); acc < 0.97 {
+		t.Errorf("sparse accuracy = %v", acc)
+	}
+}
+
+func TestC45PruningShrinksNoisyTree(t *testing.T) {
+	// Pure-noise labels: the pruned tree should collapse near the root.
+	ds := &ml.Dataset{Dim: 4}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		v := make([]float64, 4)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		ds.Add(ml.NewVector(v), rng.Intn(2), "")
+	}
+	unpruned := &C45{MinLeaf: 2, CF: -1}
+	if err := unpruned.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	pruned := NewC45()
+	if err := pruned.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Size() > unpruned.Size() {
+		t.Errorf("pruned size %d > unpruned %d", pruned.Size(), unpruned.Size())
+	}
+}
+
+func TestC45MinLeafRespected(t *testing.T) {
+	ds := andDataset(100, 5)
+	clf := &C45{MinLeaf: 30, CF: -1}
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *node)
+	check = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf && n.total() < 30 && n != clf.root {
+			// A leaf can only be smaller than MinLeaf if it is the root.
+			t.Errorf("leaf with %d < 30 instances", n.total())
+		}
+		check(n.left)
+		check(n.right)
+	}
+	check(clf.root)
+}
+
+func TestC45MaxDepth(t *testing.T) {
+	ds := andDataset(400, 6)
+	clf := &C45{MinLeaf: 2, MaxDepth: 1, CF: -1}
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if d := clf.Depth(); d > 2 {
+		t.Errorf("depth = %d with MaxDepth=1", d)
+	}
+}
+
+func TestC45ProbLaplace(t *testing.T) {
+	ds := andDataset(200, 7)
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		p := clf.Prob(x)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("Laplace prob must be in (0,1), got %v", p)
+		}
+	}
+}
+
+func TestC45PredictConsistentWithProbMajority(t *testing.T) {
+	ds := andDataset(200, 8)
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		// With Laplace smoothing, prob >= 0.5 iff legit count >= illegit.
+		// Majority breaks the tie toward illegitimate; accept either on
+		// exact ties, otherwise they must agree.
+		p := clf.Prob(x)
+		if math.Abs(p-0.5) < 1e-12 {
+			continue
+		}
+		if ml.PredictFromProb(p) != clf.Predict(x) {
+			t.Fatalf("Predict disagrees with Prob %v", p)
+		}
+	}
+}
+
+func TestC45Errors(t *testing.T) {
+	if err := NewC45().Fit(&ml.Dataset{Dim: 1}); err != ml.ErrEmptyDataset {
+		t.Errorf("empty: %v", err)
+	}
+	one := &ml.Dataset{Dim: 1}
+	one.Add(ml.NewVector([]float64{1}), ml.Legitimate, "")
+	if err := NewC45().Fit(one); err != ml.ErrOneClass {
+		t.Errorf("one class: %v", err)
+	}
+}
+
+func TestC45UnfittedDefaults(t *testing.T) {
+	clf := NewC45()
+	if clf.Prob(ml.Vector{}) != 0.5 || clf.Predict(ml.Vector{}) != ml.Illegitimate {
+		t.Error("unfitted defaults wrong")
+	}
+	if clf.Size() != 0 || clf.Depth() != 0 {
+		t.Error("unfitted size/depth wrong")
+	}
+}
+
+func TestAddErrs(t *testing.T) {
+	// addErrs must be positive for imperfect confidence and shrink as n
+	// grows (relative to n).
+	small := addErrs(10, 2, 0.25)
+	if small <= 0 {
+		t.Errorf("addErrs(10,2,0.25) = %v, want > 0", small)
+	}
+	big := addErrs(1000, 200, 0.25)
+	if big/1000 >= small/10 {
+		t.Errorf("relative correction must shrink with n: %v vs %v", big/1000, small/10)
+	}
+	// Zero observed errors still get a positive correction.
+	if z := addErrs(20, 0, 0.25); z <= 0 {
+		t.Errorf("addErrs(20,0,0.25) = %v", z)
+	}
+	// cf capped at 0.5.
+	if addErrs(50, 5, 0.9) != addErrs(50, 5, 0.5) {
+		t.Error("cf not capped at 0.5")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.75, 0.6744897501960817},
+		{0.975, 1.959963984540054},
+		{0.01, -2.326347874040841},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy(5, 5); math.Abs(e-1) > 1e-12 {
+		t.Errorf("entropy(5,5) = %v, want 1", e)
+	}
+	if e := entropy(10, 0); e != 0 {
+		t.Errorf("entropy(10,0) = %v, want 0", e)
+	}
+}
+
+// Property: for random datasets the tree never panics and training
+// accuracy is at least the majority-class rate.
+func TestC45AtLeastMajorityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(100)
+		dim := 1 + rng.Intn(6)
+		ds := &ml.Dataset{Dim: dim}
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			ds.Add(ml.NewVector(v), rng.Intn(2), "")
+		}
+		if ds.CountClass(0) == 0 || ds.CountClass(1) == 0 {
+			continue
+		}
+		clf := NewC45()
+		if err := clf.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		maj := ds.CountClass(0)
+		if c1 := ds.CountClass(1); c1 > maj {
+			maj = c1
+		}
+		if acc := trainAcc(clf, ds); acc < float64(maj)/float64(n)-1e-9 {
+			t.Fatalf("training accuracy %v below majority rate %v", acc, float64(maj)/float64(n))
+		}
+	}
+}
+
+func BenchmarkC45FitSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	ds := &ml.Dataset{Dim: 500}
+	for i := 0; i < 400; i++ {
+		m := map[int]float64{}
+		for k := 0; k < 25; k++ {
+			m[rng.Intn(500)] = rng.Float64()
+		}
+		if i%2 == ml.Legitimate {
+			m[3] = 2
+		}
+		ds.Add(ml.FromMap(m), i%2, "")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := NewC45()
+		if err := clf.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeState is the JSON wire form of one tree node (recursive).
+type nodeState struct {
+	Feature   int        `json:"feature,omitempty"`
+	Threshold float64    `json:"threshold,omitempty"`
+	Counts    [2]int     `json:"counts"`
+	Leaf      bool       `json:"leaf"`
+	Left      *nodeState `json:"left,omitempty"`
+	Right     *nodeState `json:"right,omitempty"`
+}
+
+type treeState struct {
+	MinLeaf  int        `json:"minLeaf"`
+	MaxDepth int        `json:"maxDepth"`
+	CF       float64    `json:"cf"`
+	Dim      int        `json:"dim"`
+	Root     *nodeState `json:"root"`
+}
+
+func encodeNode(n *node) *nodeState {
+	if n == nil {
+		return nil
+	}
+	return &nodeState{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Counts:    n.counts,
+		Leaf:      n.leaf,
+		Left:      encodeNode(n.left),
+		Right:     encodeNode(n.right),
+	}
+}
+
+func decodeNode(s *nodeState) (*node, error) {
+	if s == nil {
+		return nil, nil
+	}
+	n := &node{
+		feature:   s.Feature,
+		threshold: s.Threshold,
+		counts:    s.Counts,
+		leaf:      s.Leaf,
+	}
+	var err error
+	if n.left, err = decodeNode(s.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeNode(s.Right); err != nil {
+		return nil, err
+	}
+	if !n.leaf && (n.left == nil || n.right == nil) {
+		return nil, fmt.Errorf("tree: internal node without two children")
+	}
+	return n, nil
+}
+
+// MarshalJSON serializes a fitted tree.
+func (t *C45) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: cannot marshal unfitted C45")
+	}
+	return json.Marshal(treeState{
+		MinLeaf:  t.MinLeaf,
+		MaxDepth: t.MaxDepth,
+		CF:       t.CF,
+		Dim:      t.dim,
+		Root:     encodeNode(t.root),
+	})
+}
+
+// UnmarshalJSON restores a tree persisted with MarshalJSON.
+func (t *C45) UnmarshalJSON(data []byte) error {
+	var s treeState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("tree: decode C45: %w", err)
+	}
+	root, err := decodeNode(s.Root)
+	if err != nil {
+		return err
+	}
+	if root == nil {
+		return fmt.Errorf("tree: state has no root")
+	}
+	t.MinLeaf = s.MinLeaf
+	t.MaxDepth = s.MaxDepth
+	t.CF = s.CF
+	t.dim = s.Dim
+	t.root = root
+	return nil
+}

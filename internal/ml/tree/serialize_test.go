@@ -1,0 +1,70 @@
+package tree
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestC45SerializeRoundTrip(t *testing.T) {
+	ds := andDataset(300, 70)
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewC45()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != clf.Size() || restored.Depth() != clf.Depth() {
+		t.Fatalf("tree shape changed: %d/%d vs %d/%d",
+			restored.Size(), restored.Depth(), clf.Size(), clf.Depth())
+	}
+	for _, x := range ds.X {
+		if clf.Predict(x) != restored.Predict(x) || clf.Prob(x) != restored.Prob(x) {
+			t.Fatal("predictions changed after round trip")
+		}
+	}
+}
+
+func TestC45Render(t *testing.T) {
+	ds := andDataset(300, 71)
+	clf := NewC45()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	out := clf.Render(func(f int) string { return []string{"alpha", "beta"}[f] })
+	for _, want := range []string{"alpha", "legitimate", "illegitimate", "<="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Default naming.
+	if s := clf.String(); !strings.Contains(s, "a0") && !strings.Contains(s, "a1") {
+		t.Errorf("String missing default names:\n%s", s)
+	}
+	if NewC45().String() != "C45(unfitted)" {
+		t.Error("unfitted String wrong")
+	}
+}
+
+func TestC45MarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(NewC45()); err == nil {
+		t.Error("unfitted marshal must fail")
+	}
+}
+
+func TestC45UnmarshalMalformedTree(t *testing.T) {
+	// Internal node with a single child is structurally invalid.
+	bad := `{"minLeaf":2,"cf":0.25,"dim":2,"root":{"leaf":false,"counts":[1,1],"left":{"leaf":true,"counts":[1,0]}}}`
+	if err := json.Unmarshal([]byte(bad), NewC45()); err == nil {
+		t.Error("one-child internal node must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"dim":1}`), NewC45()); err == nil {
+		t.Error("missing root must be rejected")
+	}
+}

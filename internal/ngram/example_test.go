@@ -1,0 +1,29 @@
+package ngram_test
+
+import (
+	"fmt"
+
+	"pharmaverify/internal/ngram"
+)
+
+func ExampleFromText() {
+	// Bigrams of "abcde" with a window of 1: each gram links to its
+	// immediate predecessor.
+	g := ngram.FromText("abcde", 2, 1)
+	fmt.Println(g.Size(), "edges")
+	fmt.Printf("%.0f\n", g.Weight(ngram.Edge{Src: "ab", Dst: "bc"}))
+	// Output:
+	// 3 edges
+	// 1
+}
+
+func ExampleCompare() {
+	legitClass := ngram.MergeAll([]*ngram.Graph{
+		ngram.FromDocument("licensed pharmacy prescription refill health"),
+		ngram.FromDocument("pharmacist consultation insurance prescription"),
+	})
+	doc := ngram.FromDocument("licensed pharmacy prescription services")
+	sim := ngram.Compare(doc, legitClass)
+	fmt.Println(sim.CS > 0.2, sim.SS > 0, sim.VS <= sim.CS)
+	// Output: true true true
+}

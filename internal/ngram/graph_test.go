@@ -1,0 +1,261 @@
+package ngram
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFromTextSmall(t *testing.T) {
+	// "abcde" with n=2, win=1: grams ab,bc,cd,de; edges ab→bc, bc→cd, cd→de.
+	g := FromText("abcde", 2, 1)
+	if g.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", g.Size())
+	}
+	for _, e := range []Edge{{"ab", "bc"}, {"bc", "cd"}, {"cd", "de"}} {
+		if g.Weight(e) != 1 {
+			t.Errorf("weight(%v) = %v, want 1", e, g.Weight(e))
+		}
+	}
+}
+
+func TestFromTextWindow(t *testing.T) {
+	// win=2 adds second-neighbor edges.
+	g := FromText("abcde", 2, 2)
+	if g.Weight(Edge{"ab", "cd"}) != 1 {
+		t.Errorf("second-neighbor edge missing")
+	}
+	if g.Size() != 5 {
+		t.Errorf("Size = %d, want 5", g.Size())
+	}
+}
+
+func TestFromTextRepetitionIncreasesWeight(t *testing.T) {
+	g := FromText(strings.Repeat("abab", 5), 2, 1)
+	if g.Weight(Edge{"ab", "ba"}) < 2 {
+		t.Errorf("repeated co-occurrence weight = %v", g.Weight(Edge{"ab", "ba"}))
+	}
+}
+
+func TestFromTextShorterThanN(t *testing.T) {
+	g := FromText("ab", 4, 4)
+	if g.Size() != 0 {
+		t.Errorf("short text must give empty graph")
+	}
+}
+
+func TestFromDocumentDefaults(t *testing.T) {
+	g := FromDocument("online pharmacy store")
+	if g.Size() == 0 {
+		t.Error("default graph empty")
+	}
+}
+
+func TestIdenticalGraphSimilarities(t *testing.T) {
+	g := FromDocument("buy viagra online without prescription cheap cialis")
+	if cs := ContainmentSimilarity(g, g); math.Abs(cs-1) > 1e-12 {
+		t.Errorf("CS(g,g) = %v", cs)
+	}
+	if ss := SizeSimilarity(g, g); math.Abs(ss-1) > 1e-12 {
+		t.Errorf("SS(g,g) = %v", ss)
+	}
+	if vs := ValueSimilarity(g, g); math.Abs(vs-1) > 1e-12 {
+		t.Errorf("VS(g,g) = %v", vs)
+	}
+	if nvs := NormalizedValueSimilarity(g, g); math.Abs(nvs-1) > 1e-12 {
+		t.Errorf("NVS(g,g) = %v", nvs)
+	}
+}
+
+func TestDisjointGraphSimilarities(t *testing.T) {
+	a := FromDocument("aaaaaaaabbbbbbb")
+	b := FromDocument("xxxxxxxxyyyyyyy")
+	if cs := ContainmentSimilarity(a, b); cs != 0 {
+		t.Errorf("CS disjoint = %v", cs)
+	}
+	if vs := ValueSimilarity(a, b); vs != 0 {
+		t.Errorf("VS disjoint = %v", vs)
+	}
+}
+
+func TestEmptyGraphSimilarities(t *testing.T) {
+	e := New()
+	g := FromDocument("some medical content here")
+	if ContainmentSimilarity(e, g) != 0 || SizeSimilarity(e, g) != 0 ||
+		ValueSimilarity(e, g) != 0 || NormalizedValueSimilarity(e, g) != 0 {
+		t.Error("similarities with empty graph must be 0")
+	}
+}
+
+func TestSimilaritiesSymmetryProperties(t *testing.T) {
+	a := FromDocument("legitimate pharmacy with health information and prescriptions")
+	b := FromDocument("cheap viagra cialis no prescription required order now")
+	// SS is symmetric.
+	if SizeSimilarity(a, b) != SizeSimilarity(b, a) {
+		t.Error("SS asymmetric")
+	}
+	// CS numerator direction differs but the μ sum over shared edges is
+	// symmetric, and so is the min denominator → CS symmetric too.
+	if math.Abs(ContainmentSimilarity(a, b)-ContainmentSimilarity(b, a)) > 1e-12 {
+		t.Error("CS asymmetric")
+	}
+	// All similarities within [0,1].
+	for name, v := range map[string]float64{
+		"CS":  ContainmentSimilarity(a, b),
+		"SS":  SizeSimilarity(a, b),
+		"VS":  ValueSimilarity(a, b),
+		"NVS": NormalizedValueSimilarity(a, b),
+	} {
+		if v < 0 || v > 1+1e-12 {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+}
+
+func TestVSBoundedByCS(t *testing.T) {
+	// Each VS term is ≤ 1 and only counted on shared edges, and the VS
+	// denominator (max) ≥ CS denominator (min): VS ≤ CS.
+	a := FromDocument("pharmacy store health products medical advice")
+	b := FromDocument("pharmacy store cheap pills discount offers")
+	if ValueSimilarity(a, b) > ContainmentSimilarity(a, b)+1e-12 {
+		t.Errorf("VS %v > CS %v", ValueSimilarity(a, b), ContainmentSimilarity(a, b))
+	}
+}
+
+func TestMergeRunningAverage(t *testing.T) {
+	a := FromText("abc", 2, 1) // edge ab→bc weight 1
+	b := FromText("abcabc", 2, 1)
+	class := New()
+	class.Merge(a)
+	if class.Weight(Edge{"ab", "bc"}) != 1 {
+		t.Errorf("after first merge w = %v", class.Weight(Edge{"ab", "bc"}))
+	}
+	class.Merge(b)
+	// Running average of weights 1 and b's weight for ab→bc.
+	wb := b.Weight(Edge{"ab", "bc"})
+	want := (1 + wb) / 2
+	if got := class.Weight(Edge{"ab", "bc"}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("after second merge w = %v, want %v", got, want)
+	}
+}
+
+func TestMergeDecaysAbsentEdges(t *testing.T) {
+	a := FromText("abc", 2, 1) // ab→bc
+	c := FromText("xyz", 2, 1) // xy→yz
+	class := New()
+	class.Merge(a)
+	class.Merge(c)
+	if got := class.Weight(Edge{"ab", "bc"}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("absent edge decay: %v, want 0.5", got)
+	}
+}
+
+func TestMergeAllOrderIndependentSize(t *testing.T) {
+	docs := []*Graph{
+		FromDocument("alpha beta gamma"),
+		FromDocument("beta gamma delta"),
+		FromDocument("gamma delta epsilon"),
+	}
+	g := MergeAll(docs)
+	if g.Size() == 0 {
+		t.Fatal("empty class graph")
+	}
+	// Every edge present in at least one doc must appear (weights > 0
+	// after only 3 merges; decay cannot eliminate them).
+	for _, d := range docs {
+		for _, e := range d.Edges(0) {
+			if !g.Contains(e) {
+				t.Fatalf("class graph lost edge %v", e)
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := FromDocument("clone me please")
+	c := g.Clone()
+	c.Merge(FromDocument("different content entirely"))
+	if c.Size() == g.Size() && c.merged == g.merged {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	legit := FromDocument("health pharmacy prescriptions fda approved medication guide")
+	illegit := FromDocument("cheap viagra cialis no prescription discount order")
+	doc := FromDocument("buy cheap viagra online today")
+	f := Features(doc, legit, illegit)
+	if len(f) != 8 || len(FeatureNames) != 8 {
+		t.Fatalf("feature length %d", len(f))
+	}
+	// The doc resembles the illegitimate class more: CS_illegit > CS_legit.
+	if f[4] <= f[0] {
+		t.Errorf("CS_illegit %v should exceed CS_legit %v", f[4], f[0])
+	}
+}
+
+func TestTextRankOrdering(t *testing.T) {
+	legitDocs := []*Graph{
+		FromDocument("pharmacy health insurance prescriptions refill fda information"),
+		FromDocument("patient health services prescription medication pharmacy care"),
+	}
+	illegitDocs := []*Graph{
+		FromDocument("cheap viagra cialis no prescription needed order now discount"),
+		FromDocument("viagra discount cheap pills no prescription fast shipping"),
+	}
+	legitClass := MergeAll(legitDocs)
+	illegitClass := MergeAll(illegitDocs)
+
+	legitTest := FromDocument("pharmacy health prescription refill care information")
+	illegitTest := FromDocument("cheap viagra no prescription discount order")
+	rl := TextRank(legitTest, legitClass, illegitClass)
+	ri := TextRank(illegitTest, legitClass, illegitClass)
+	if rl <= ri {
+		t.Errorf("TextRank(legit)=%v must exceed TextRank(illegit)=%v", rl, ri)
+	}
+	// Range: each of the 8 summands is in [0,1].
+	if rl < 0 || rl > 8 || ri < 0 || ri > 8 {
+		t.Errorf("TextRank out of [0,8]: %v %v", rl, ri)
+	}
+}
+
+func TestEdgesSortedByWeight(t *testing.T) {
+	g := FromText(strings.Repeat("abab", 10)+"xyz", 2, 1)
+	es := g.Edges(3)
+	if len(es) != 3 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if g.Weight(es[0]) < g.Weight(es[1]) || g.Weight(es[1]) < g.Weight(es[2]) {
+		t.Error("Edges not sorted by weight")
+	}
+	if g.MaxWeight() != g.Weight(es[0]) {
+		t.Error("MaxWeight mismatch")
+	}
+}
+
+func TestUnicodeText(t *testing.T) {
+	g := FromText("ωμέγα φαρμακείο", 4, 4)
+	if g.Size() == 0 {
+		t.Error("unicode text produced empty graph")
+	}
+}
+
+func BenchmarkFromDocument(b *testing.B) {
+	text := strings.Repeat("online pharmacy prescription medication health store ", 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromDocument(text)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	text := strings.Repeat("online pharmacy prescription medication health ", 50)
+	doc := FromDocument(text)
+	class := MergeAll([]*Graph{doc, FromDocument(strings.Repeat("cheap viagra discount pills ", 50))})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(doc, class)
+	}
+}

@@ -1,0 +1,154 @@
+package ngram
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomText builds a pharmacy-ish random document.
+func randomText(rng *rand.Rand, words int) string {
+	pool := []string{"viagra", "health", "pharmacy", "cheap", "order",
+		"prescription", "pills", "online", "store", "discount", "fda"}
+	var b strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(pool[rng.Intn(len(pool))])
+	}
+	return b.String()
+}
+
+// Property: all four similarities stay within [0,1] for arbitrary
+// document pairs, and self-similarity is exactly 1 for non-empty graphs.
+func TestSimilaritiesBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		a := FromDocument(randomText(rng, 2+rng.Intn(60)))
+		b := FromDocument(randomText(rng, 2+rng.Intn(60)))
+		for name, v := range map[string]float64{
+			"CS":  ContainmentSimilarity(a, b),
+			"SS":  SizeSimilarity(a, b),
+			"VS":  ValueSimilarity(a, b),
+			"NVS": NormalizedValueSimilarity(a, b),
+		} {
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("%s = %v out of range", name, v)
+			}
+		}
+	}
+}
+
+// Property: merging k copies of the same document leaves the weights of
+// that document unchanged (running average of identical values).
+func TestMergeIdempotentOnIdenticalDocsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		doc := FromDocument(randomText(rng, 5+rng.Intn(40)))
+		if doc.Size() == 0 {
+			continue
+		}
+		class := New()
+		k := 2 + rng.Intn(5)
+		for i := 0; i < k; i++ {
+			class.Merge(doc)
+		}
+		if class.Size() != doc.Size() {
+			t.Fatalf("size changed: %d vs %d", class.Size(), doc.Size())
+		}
+		for _, e := range doc.Edges(10) {
+			got, want := class.Weight(e), doc.Weight(e)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("weight drifted: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+// Property: the class graph built from a set of documents contains
+// every edge of every document (no decay can reach zero in finitely
+// many merges).
+func TestMergeAllCoversAllEdgesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		var docs []*Graph
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			docs = append(docs, FromDocument(randomText(rng, 5+rng.Intn(30))))
+		}
+		class := MergeAll(docs)
+		for di, d := range docs {
+			for _, e := range d.Edges(0) {
+				if !class.Contains(e) {
+					t.Fatalf("doc %d edge %v missing from class graph", di, e)
+				}
+			}
+		}
+	}
+}
+
+// Property: a document is more similar (VS) to a class graph built
+// from documents drawn from the same vocabulary than to one from a
+// disjoint vocabulary.
+func TestClassDiscriminationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	greek := func(words int) string {
+		pool := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+		var b strings.Builder
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(pool[rng.Intn(len(pool))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 20; trial++ {
+		var same, other []*Graph
+		for i := 0; i < 5; i++ {
+			same = append(same, FromDocument(randomText(rng, 40)))
+			other = append(other, FromDocument(greek(40)))
+		}
+		sameClass := MergeAll(same)
+		otherClass := MergeAll(other)
+		probe := FromDocument(randomText(rng, 40))
+		if ValueSimilarity(probe, sameClass) <= ValueSimilarity(probe, otherClass) {
+			t.Fatalf("probe closer to disjoint-vocabulary class")
+		}
+	}
+}
+
+// Property: total edge weight of FromText equals the number of
+// (position, predecessor) pairs: Σ_{i=1..n-1} min(i, win).
+func TestFromTextTotalWeightProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		win := 1 + rng.Intn(6)
+		text := randomText(rng, 1+rng.Intn(20))
+		g := FromText(text, n, win)
+		runes := []rune(text)
+		grams := len(runes) - n + 1
+		if grams < 1 {
+			if g.Size() != 0 {
+				t.Fatal("short text must give empty graph")
+			}
+			continue
+		}
+		want := 0.0
+		for i := 1; i < grams; i++ {
+			w := i
+			if w > win {
+				w = win
+			}
+			want += float64(w)
+		}
+		var got float64
+		for _, e := range g.Edges(0) {
+			got += g.Weight(e)
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("total weight %v, want %v (n=%d win=%d)", got, want, n, win)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package textproc
+
+// luceneStopWords is the classic English stop-word list shipped with
+// Apache Lucene's StandardAnalyzer (the paper preprocesses documents
+// with Lucene 3.4.0 stop-word removal and no stemming).
+var luceneStopWords = []string{
+	"a", "an", "and", "are", "as", "at", "be", "but", "by",
+	"for", "if", "in", "into", "is", "it",
+	"no", "not", "of", "on", "or", "such",
+	"that", "the", "their", "then", "there", "these",
+	"they", "this", "to", "was", "will", "with",
+}
+
+// StopWords returns the default stop-word set (a fresh copy each call so
+// that callers can extend it safely).
+func StopWords() map[string]bool {
+	m := make(map[string]bool, len(luceneStopWords))
+	for _, w := range luceneStopWords {
+		m[w] = true
+	}
+	return m
+}

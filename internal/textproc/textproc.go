@@ -1,0 +1,126 @@
+// Package textproc implements the paper's text preprocessing (§4.1):
+// tokenization, Lucene-style stop-word removal without stemming, the
+// summarization step that merges all crawled pages of a pharmacy into a
+// single document, and the random term subsampling (100/250/1000/2000
+// terms) used throughout the experiments.
+package textproc
+
+import (
+	"math/rand"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases the text and splits it into terms on any
+// non-letter/non-digit rune, mirroring Lucene's StandardTokenizer for
+// plain English content. Single-character terms are dropped.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 {
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'': // keep possessives/contractions joined ("don't")
+			if b.Len() > 0 {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Trim trailing apostrophes left by the contraction rule.
+	for i, t := range tokens {
+		tokens[i] = strings.TrimRight(t, "'")
+	}
+	return tokens
+}
+
+// Preprocessor applies tokenization and stop-word removal. The zero
+// value uses the default Lucene stop-word list; no stemming is applied,
+// matching the paper (technical terms and trademarks survive intact).
+type Preprocessor struct {
+	stop map[string]bool
+}
+
+// NewPreprocessor builds a Preprocessor with the default stop words plus
+// any extra words supplied.
+func NewPreprocessor(extraStopWords ...string) *Preprocessor {
+	stop := StopWords()
+	for _, w := range extraStopWords {
+		stop[strings.ToLower(w)] = true
+	}
+	return &Preprocessor{stop: stop}
+}
+
+// Terms tokenizes text and removes stop words.
+func (p *Preprocessor) Terms(text string) []string {
+	stop := p.stop
+	if stop == nil {
+		stop = StopWords()
+	}
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if !stop[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Summarize merges the text content of all crawled pages of one
+// pharmacy into a single summary document, the paper's summarization
+// step. Pages are separated by a single space.
+func Summarize(pages []string) string {
+	return strings.Join(pages, " ")
+}
+
+// Subsample returns a random subset of k terms of the document (without
+// replacement, preserving multiplicity semantics: positions are chosen
+// uniformly). When k <= 0 or k >= len(terms) the original slice is
+// returned unchanged, corresponding to the paper's "All" column.
+func Subsample(terms []string, k int, rng *rand.Rand) []string {
+	if k <= 0 || k >= len(terms) {
+		return terms
+	}
+	idx := rng.Perm(len(terms))[:k]
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = terms[j]
+	}
+	return out
+}
+
+// SubsampleSizes are the term-subset sizes swept in the paper's
+// experiments; 0 denotes "All".
+var SubsampleSizes = []int{100, 250, 1000, 2000, 0}
+
+// SizeLabel formats a subsample size the way the paper's tables do.
+func SizeLabel(k int) string {
+	if k == 0 {
+		return "All"
+	}
+	return itoa(k)
+}
+
+func itoa(k int) string {
+	if k == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = byte('0' + k%10)
+		k /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,232 @@
+// Package trust implements the network-analysis half of the paper
+// (§4.2): the link-graph construction of Algorithm 1 (pharmacy →
+// outbound second-level-domain endpoints), the TrustRank algorithm of
+// Gyöngyi et al. seeded with known-legitimate pharmacies, and the
+// Anti-TrustRank and PageRank variants used as baselines and for the
+// future-work extensions.
+package trust
+
+import (
+	"sort"
+	"strings"
+)
+
+// Graph is a directed graph over domain names.
+type Graph struct {
+	ids   map[string]int
+	names []string
+	out   [][]int32
+	in    [][]int32
+	edges int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{ids: make(map[string]int)}
+}
+
+// Node interns a domain name and returns its id.
+func (g *Graph) Node(name string) int {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.ids[name] = id
+	g.names = append(g.names, name)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds a directed edge src → dst (parallel edges are kept: a
+// pharmacy linking to fda.gov from many pages weighs more).
+func (g *Graph) AddEdge(src, dst string) {
+	s, d := g.Node(src), g.Node(dst)
+	g.out[s] = append(g.out[s], int32(d))
+	g.in[d] = append(g.in[d], int32(s))
+	g.edges++
+}
+
+// Len reports the number of nodes; Edges the number of edges.
+func (g *Graph) Len() int   { return len(g.names) }
+func (g *Graph) Edges() int { return g.edges }
+
+// Name returns the domain of node id.
+func (g *Graph) Name(id int) string { return g.names[id] }
+
+// ID returns the node id of a domain, or -1 when absent.
+func (g *Graph) ID(name string) int {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// OutDegree returns the out-degree of a node.
+func (g *Graph) OutDegree(id int) int { return len(g.out[id]) }
+
+// InDegree returns the in-degree of a node.
+func (g *Graph) InDegree(id int) int { return len(g.in[id]) }
+
+// Reverse returns a new graph with every edge direction flipped
+// (used by Anti-TrustRank, which propagates distrust backwards).
+func (g *Graph) Reverse() *Graph {
+	r := NewGraph()
+	for _, n := range g.names {
+		r.Node(n)
+	}
+	for s, outs := range g.out {
+		for _, d := range outs {
+			r.AddEdge(g.names[d], g.names[s])
+		}
+	}
+	return r
+}
+
+// Undirected returns a new graph where every edge also exists in the
+// opposite direction. The verification pipeline runs TrustRank on this
+// symmetrized graph so that trust placed on hub endpoints (fda.gov,
+// facebook.com) flows back to the pharmacies that link to them — the
+// "approximate isolation" signal of Section 3.1.
+func (g *Graph) Undirected() *Graph {
+	u := NewGraph()
+	for _, n := range g.names {
+		u.Node(n)
+	}
+	for s, outs := range g.out {
+		for _, d := range outs {
+			u.AddEdge(g.names[s], g.names[d])
+			u.AddEdge(g.names[d], g.names[s])
+		}
+	}
+	return u
+}
+
+// TopLinked returns up to k endpoint domains sorted by how many of the
+// given source domains link to them (each source counted once per
+// endpoint), reproducing the analysis of Table 11.
+func TopLinked(outbound map[string][]string, k int) []string {
+	counts := make(map[string]int)
+	for _, targets := range outbound {
+		seen := make(map[string]bool, len(targets))
+		for _, t := range targets {
+			if !seen[t] {
+				counts[t]++
+				seen[t] = true
+			}
+		}
+	}
+	domains := make([]string, 0, len(counts))
+	for d := range counts {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool {
+		if counts[domains[i]] != counts[domains[j]] {
+			return counts[domains[i]] > counts[domains[j]]
+		}
+		return domains[i] < domains[j]
+	})
+	if k > 0 && k < len(domains) {
+		domains = domains[:k]
+	}
+	return domains
+}
+
+// secondLevelCCTLDs lists country-code registries that allocate names
+// under a generic second level ("example.co.uk"), for which the
+// registrable domain is three labels long.
+var secondLevelCCTLDs = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.jp": true, "or.jp": true, "ne.jp": true,
+	"com.br": true, "com.cn": true, "com.mx": true, "co.in": true,
+	"co.nz": true, "co.za": true, "com.sg": true, "com.tr": true,
+}
+
+// Endpoint implements the paper's endpoint() function: it extracts the
+// second-level (registrable) domain from a raw URL, e.g.
+// "http://www.medicalnewstoday.com/articles/238663.php" →
+// "medicalnewstoday.com". It reports ok=false for unparsable or
+// schemeless-relative inputs.
+func Endpoint(rawURL string) (string, bool) {
+	s := rawURL
+	// Strip scheme.
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	} else if strings.HasPrefix(s, "/") || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "?") {
+		return "", false // relative URL: no host
+	} else if strings.HasPrefix(s, "mailto:") || strings.HasPrefix(s, "javascript:") || strings.HasPrefix(s, "tel:") {
+		return "", false
+	}
+	// Host ends at first '/', '?', '#'.
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	// Drop credentials and port.
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if s == "" || strings.ContainsAny(s, " \t") {
+		return "", false
+	}
+	labels := strings.Split(s, ".")
+	if len(labels) < 2 {
+		return "", false
+	}
+	for _, l := range labels {
+		if l == "" {
+			return "", false
+		}
+	}
+	last2 := strings.Join(labels[len(labels)-2:], ".")
+	if len(labels) >= 3 && secondLevelCCTLDs[last2] {
+		return strings.Join(labels[len(labels)-3:], "."), true
+	}
+	return last2, true
+}
+
+// OutboundEndpoints maps raw outbound links to their endpoint domains,
+// dropping links that resolve back to ownDomain and duplicates
+// (preserving first-seen order) — the outboundLinks()+endpoint()
+// composition of Algorithm 1.
+func OutboundEndpoints(links []string, ownDomain string) []string {
+	own := strings.ToLower(ownDomain)
+	var out []string
+	seen := make(map[string]bool)
+	for _, l := range links {
+		ep, ok := Endpoint(l)
+		if !ok || ep == own || seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		out = append(out, ep)
+	}
+	return out
+}
+
+// BuildGraph implements Algorithm 1 (GRAPH-CREATION): given the set of
+// pharmacies with their outbound endpoint domains, it creates one node
+// per pharmacy and per endpoint, with a directed edge for every
+// outbound link.
+func BuildGraph(outbound map[string][]string) *Graph {
+	g := NewGraph()
+	// Deterministic construction order.
+	domains := make([]string, 0, len(outbound))
+	for d := range outbound {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		g.Node(d)
+		for _, ep := range outbound[d] {
+			g.AddEdge(d, ep)
+		}
+	}
+	return g
+}

@@ -1,0 +1,152 @@
+package trust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(rng *rand.Rand, nodes, edges int) *Graph {
+	g := NewGraph()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = "n" + itoa(i)
+		g.Node(names[i])
+	}
+	for i := 0; i < edges; i++ {
+		g.AddEdge(names[rng.Intn(nodes)], names[rng.Intn(nodes)])
+	}
+	return g
+}
+
+// Property: PageRank is a probability distribution (non-negative,
+// sums to 1) on any graph.
+func TestPageRankDistributionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(30), rng.Intn(80))
+		r := PageRank(g, Config{})
+		var sum float64
+		for _, v := range r {
+			if v < 0 {
+				t.Fatalf("negative rank %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("ranks sum to %v", sum)
+		}
+	}
+}
+
+// Property: TrustRank scores are in [0,1] after max-normalization, and
+// at least one node scores exactly 1.
+func TestTrustRankNormalizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(80))
+		seeds := map[string]float64{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			seeds["n"+itoa(rng.Intn(n))] = 1
+		}
+		r := TrustRank(g, seeds, Config{})
+		var max float64
+		for _, v := range r {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("score %v out of [0,1]", v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.Abs(max-1) > 1e-9 {
+			t.Fatalf("max score %v, want 1", max)
+		}
+	}
+}
+
+// Property: Reverse is an involution on degrees — Reverse(Reverse(g))
+// has the same in/out degrees as g.
+func TestReverseInvolutionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(20), rng.Intn(60))
+		rr := g.Reverse().Reverse()
+		if rr.Len() != g.Len() || rr.Edges() != g.Edges() {
+			t.Fatal("node/edge counts changed")
+		}
+		for id := 0; id < g.Len(); id++ {
+			name := g.Name(id)
+			rid := rr.ID(name)
+			if g.OutDegree(id) != rr.OutDegree(rid) || g.InDegree(id) != rr.InDegree(rid) {
+				t.Fatalf("degrees changed for %s", name)
+			}
+		}
+	}
+}
+
+// Property: in the undirected graph every node has equal in- and
+// out-degree.
+func TestUndirectedSymmetricDegreesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(20), rng.Intn(60))
+		u := g.Undirected()
+		for id := 0; id < u.Len(); id++ {
+			if u.OutDegree(id) != u.InDegree(id) {
+				t.Fatalf("asymmetric degrees at %s", u.Name(id))
+			}
+		}
+	}
+}
+
+// Property: adding trust seeds never decreases a seed's own score
+// relative to an unseeded (PageRank) run's ordering — seeds always end
+// up at the top of the normalized ranking.
+func TestSeedsRankHighProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(20)
+		g := randomGraph(rng, n, n*2)
+		seed := "n" + itoa(rng.Intn(n))
+		r := TrustRank(g, map[string]float64{seed: 1}, Config{})
+		s := NewScores(g, r)
+		// The seed holds the (1-α) teleport share; only nodes that
+		// accumulate flow from it can rival it. It must stay above the
+		// median.
+		below := 0
+		for id := 0; id < g.Len(); id++ {
+			if r[id] < s.Of(seed) {
+				below++
+			}
+		}
+		if below < n/2-1 {
+			t.Fatalf("seed %s below median: only %d/%d nodes below it", seed, below, n)
+		}
+	}
+}
+
+// Property: Endpoint never returns a string with scheme, slash, or
+// whitespace, for arbitrary byte-string inputs.
+func TestEndpointOutputCleanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	alphabet := []byte("abc.:/?#@ \t%&=+h")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(30)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		ep, ok := Endpoint(string(buf))
+		if !ok {
+			continue
+		}
+		for _, c := range ep {
+			switch c {
+			case '/', ':', '?', '#', ' ', '\t', '@':
+				t.Fatalf("Endpoint(%q) = %q contains %q", buf, ep, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package trust
+
+import "math"
+
+// Config parameterizes the rank computations.
+type Config struct {
+	// Damping is the decay factor α (default 0.85 when 0).
+	Damping float64
+	// MaxIterations bounds the power iteration (default 100 when 0).
+	MaxIterations int
+	// Tol is the L1 convergence threshold (default 1e-9 when 0).
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Damping == 0 {
+		c.Damping = 0.85
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-9
+	}
+	return c
+}
+
+// PageRank computes the standard PageRank of every node (uniform
+// teleport vector) — the unseeded baseline.
+func PageRank(g *Graph, cfg Config) []float64 {
+	n := g.Len()
+	bias := make([]float64, n)
+	for i := range bias {
+		bias[i] = 1 / float64(n)
+	}
+	return biasedRank(g, bias, cfg)
+}
+
+// TrustRank computes trust scores by propagating from a seed of known
+// pages (Gyöngyi et al.). seeds maps node names to their oracle values;
+// in the paper's initialization legitimate pharmacies in P0 get 1 and
+// everything else 0. Scores are normalized so the maximum is 1 (the
+// relative ordering is what the classifier consumes).
+func TrustRank(g *Graph, seeds map[string]float64, cfg Config) []float64 {
+	n := g.Len()
+	bias := make([]float64, n)
+	var total float64
+	for name, v := range seeds {
+		if id := g.ID(name); id >= 0 && v > 0 {
+			bias[id] = v
+			total += v
+		}
+	}
+	if total == 0 {
+		// No usable seed: fall back to uniform (PageRank).
+		for i := range bias {
+			bias[i] = 1 / float64(n)
+		}
+	} else {
+		for i := range bias {
+			bias[i] /= total
+		}
+	}
+	r := biasedRank(g, bias, cfg)
+	normalizeMax(r)
+	return r
+}
+
+// AntiTrustRank propagates *distrust* from known-bad seeds along
+// reversed edges (Krishnan & Raj): pages that link to distrusted pages
+// become distrusted. Higher scores mean less trustworthy.
+func AntiTrustRank(g *Graph, badSeeds map[string]float64, cfg Config) []float64 {
+	return TrustRank(g.Reverse(), badSeeds, cfg)
+}
+
+// biasedRank runs personalized PageRank with the given teleport vector.
+// Dangling mass is redistributed to the bias vector.
+func biasedRank(g *Graph, bias []float64, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	copy(rank, bias)
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			outs := g.out[u]
+			if len(outs) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(len(outs))
+			for _, v := range outs {
+				next[v] += share
+			}
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			nv := (1-cfg.Damping)*bias[i] + cfg.Damping*(next[i]+dangling*bias[i])
+			delta += math.Abs(nv - rank[i])
+			rank[i] = nv
+		}
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	return rank
+}
+
+func normalizeMax(r []float64) {
+	var m float64
+	for _, v := range r {
+		if v > m {
+			m = v
+		}
+	}
+	if m > 0 {
+		for i := range r {
+			r[i] /= m
+		}
+	}
+}
+
+// Scores is a convenience wrapper pairing a graph with computed node
+// scores for name-based lookup.
+type Scores struct {
+	g *Graph
+	v []float64
+}
+
+// NewScores bundles a graph and a score vector.
+func NewScores(g *Graph, v []float64) Scores { return Scores{g: g, v: v} }
+
+// Of returns the score of a domain (0 when the domain is not a node).
+func (s Scores) Of(domain string) float64 {
+	id := s.g.ID(domain)
+	if id < 0 {
+		return 0
+	}
+	return s.v[id]
+}

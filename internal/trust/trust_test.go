@@ -1,0 +1,276 @@
+package trust
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestEndpoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"http://www.medicalnewstoday.com/articles/238663.php", "medicalnewstoday.com", true},
+		{"http://www.fda.gov/forconsumers/consumerupdates/ucm149202.htm", "fda.gov", true},
+		{"https://twitter.com/acme", "twitter.com", true},
+		{"//cdn.example.com/x.js", "example.com", true},
+		{"http://shop.example.co.uk/buy", "example.co.uk", true},
+		{"http://example.com:8080/x", "example.com", true},
+		{"http://usr:pwd" + "\u0040" + "example.com/", "example.com", true},
+		{"HTTP://WWW.EXAMPLE.COM", "example.com", true},
+		{"/relative/path", "", false},
+		{"#anchor", "", false},
+		{"mailto:[email protected]", "", false},
+		{"javascript:void(0)", "", false},
+		{"localhost", "", false},
+		{"", "", false},
+		{"ftp://files.archive.org/pub", "archive.org", true},
+		{"http://example.com.", "example.com", true},
+	}
+	for _, c := range cases {
+		got, ok := Endpoint(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Endpoint(%q) = %q,%v want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestOutboundEndpoints(t *testing.T) {
+	links := []string{
+		"http://www.fda.gov/a",
+		"http://fda.gov/b",         // duplicate endpoint
+		"https://pharma.example/c", // own domain
+		"/internal/page",           // relative
+		"http://twitter.com/x",
+	}
+	got := OutboundEndpoints(links, "pharma.example")
+	want := []string{"fda.gov", "twitter.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("OutboundEndpoints = %v, want %v", got, want)
+	}
+}
+
+func TestBuildGraphAlgorithm1(t *testing.T) {
+	g := BuildGraph(map[string][]string{
+		"legit.example":   {"fda.gov", "twitter.com"},
+		"illegit.example": {"wikipedia.org"},
+	})
+	if g.Len() != 5 {
+		t.Errorf("nodes = %d, want 5", g.Len())
+	}
+	if g.Edges() != 3 {
+		t.Errorf("edges = %d, want 3", g.Edges())
+	}
+	if g.OutDegree(g.ID("legit.example")) != 2 {
+		t.Error("out-degree wrong")
+	}
+	if g.InDegree(g.ID("fda.gov")) != 1 {
+		t.Error("in-degree wrong")
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	r := PageRank(g, Config{})
+	for i := 1; i < 3; i++ {
+		if math.Abs(r[i]-r[0]) > 1e-6 {
+			t.Errorf("cycle ranks differ: %v", r)
+		}
+	}
+	var sum float64
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankPrefersHighInDegree(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "hub")
+	g.AddEdge("b", "hub")
+	g.AddEdge("c", "hub")
+	g.AddEdge("hub", "a")
+	r := PageRank(g, Config{})
+	hub := g.ID("hub")
+	for _, n := range []string{"b", "c"} {
+		if r[g.ID(n)] >= r[hub] {
+			t.Errorf("hub rank %v not above %s rank %v", r[hub], n, r[g.ID(n)])
+		}
+	}
+}
+
+func TestTrustRankPropagation(t *testing.T) {
+	// seed → good → goodchild; bad is disconnected from the seed.
+	g := NewGraph()
+	g.AddEdge("seed", "good")
+	g.AddEdge("good", "goodchild")
+	g.AddEdge("bad", "badhub")
+	r := TrustRank(g, map[string]float64{"seed": 1}, Config{})
+	s := NewScores(g, r)
+	if s.Of("good") <= s.Of("bad") {
+		t.Errorf("good %v must out-rank bad %v", s.Of("good"), s.Of("bad"))
+	}
+	if s.Of("goodchild") <= s.Of("badhub") {
+		t.Errorf("goodchild %v must out-rank badhub %v", s.Of("goodchild"), s.Of("badhub"))
+	}
+	if s.Of("seed") != 1 {
+		t.Errorf("max-normalized seed = %v, want 1", s.Of("seed"))
+	}
+}
+
+func TestTrustRankDecaysWithDistance(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("seed", "d1")
+	g.AddEdge("d1", "d2")
+	g.AddEdge("d2", "d3")
+	r := TrustRank(g, map[string]float64{"seed": 1}, Config{})
+	s := NewScores(g, r)
+	if !(s.Of("d1") > s.Of("d2") && s.Of("d2") > s.Of("d3")) {
+		t.Errorf("trust must decay with distance: %v %v %v", s.Of("d1"), s.Of("d2"), s.Of("d3"))
+	}
+}
+
+func TestTrustRankApproximateIsolation(t *testing.T) {
+	// Figure 3 scenario: good cluster and bad cluster with one good→bad
+	// leak; bad nodes must still end up with much less trust.
+	g := NewGraph()
+	g.AddEdge("g1", "g2")
+	g.AddEdge("g2", "g3")
+	g.AddEdge("g3", "g1")
+	g.AddEdge("b1", "b2")
+	g.AddEdge("b2", "b3")
+	g.AddEdge("b3", "b1")
+	g.AddEdge("g3", "b1") // single leak
+	r := TrustRank(g, map[string]float64{"g1": 1, "g2": 1}, Config{})
+	s := NewScores(g, r)
+	if s.Of("b2") >= s.Of("g3") {
+		t.Errorf("bad cluster b2=%v should trail good g3=%v", s.Of("b2"), s.Of("g3"))
+	}
+}
+
+func TestTrustRankEmptySeedFallsBackToPageRank(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	r := TrustRank(g, nil, Config{})
+	if len(r) != 2 {
+		t.Fatal("wrong length")
+	}
+	for _, v := range r {
+		if v <= 0 {
+			t.Error("fallback ranks must be positive")
+		}
+	}
+}
+
+func TestAntiTrustRankFlowsBackwards(t *testing.T) {
+	// affiliate → hub. Seeding distrust at the hub must reach the
+	// affiliate (it links TO a bad page), not the other way around.
+	g := NewGraph()
+	g.AddEdge("affiliate", "hub")
+	g.AddEdge("innocent", "fda.gov")
+	r := AntiTrustRank(g, map[string]float64{"hub": 1}, Config{})
+	s := NewScores(g, r)
+	if s.Of("affiliate") <= s.Of("innocent") {
+		t.Errorf("affiliate distrust %v must exceed innocent %v", s.Of("affiliate"), s.Of("innocent"))
+	}
+}
+
+func TestUndirectedFlowsBothWays(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("legitseed", "fda.gov")
+	g.AddEdge("newpharm", "fda.gov")
+	g.AddEdge("shady", "spamhub.biz")
+
+	directed := TrustRank(g, map[string]float64{"legitseed": 1}, Config{})
+	sd := NewScores(g, directed)
+	// On the directed graph a test pharmacy that links to fda.gov gets
+	// nothing back.
+	if sd.Of("newpharm") != 0 {
+		t.Errorf("directed: newpharm = %v, want 0", sd.Of("newpharm"))
+	}
+
+	u := g.Undirected()
+	r := TrustRank(u, map[string]float64{"legitseed": 1}, Config{})
+	su := NewScores(u, r)
+	if su.Of("newpharm") <= su.Of("shady") {
+		t.Errorf("undirected: newpharm %v must out-rank shady %v", su.Of("newpharm"), su.Of("shady"))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	r := g.Reverse()
+	if r.OutDegree(r.ID("b")) != 1 || r.OutDegree(r.ID("a")) != 0 {
+		t.Error("Reverse wrong")
+	}
+}
+
+func TestTopLinked(t *testing.T) {
+	outbound := map[string][]string{
+		"p1": {"fda.gov", "twitter.com", "fda.gov"}, // fda counted once per source
+		"p2": {"fda.gov"},
+		"p3": {"twitter.com", "wikipedia.org"},
+	}
+	got := TopLinked(outbound, 2)
+	want := []string{"fda.gov", "twitter.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopLinked = %v, want %v", got, want)
+	}
+}
+
+func TestScoresUnknownDomain(t *testing.T) {
+	g := NewGraph()
+	g.Node("a")
+	s := NewScores(g, []float64{0.7})
+	if s.Of("missing") != 0 {
+		t.Error("unknown domain must score 0")
+	}
+}
+
+func TestGraphDeterministicIDs(t *testing.T) {
+	a := BuildGraph(map[string][]string{"z.com": {"x.org"}, "a.com": {"x.org"}})
+	b := BuildGraph(map[string][]string{"a.com": {"x.org"}, "z.com": {"x.org"}})
+	if a.ID("a.com") != b.ID("a.com") || a.ID("x.org") != b.ID("x.org") {
+		t.Error("BuildGraph not deterministic across map order")
+	}
+}
+
+func BenchmarkTrustRank(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 2000; i++ {
+		src := "pharm" + itoa(i)
+		g.AddEdge(src, "hub"+itoa(i%20))
+		g.AddEdge(src, "common.example")
+	}
+	seeds := map[string]float64{}
+	for i := 0; i < 100; i++ {
+		seeds["pharm"+itoa(i)] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrustRank(g, seeds, Config{})
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,114 @@
+package vectorize
+
+import (
+	"math"
+	"sort"
+
+	"pharmaverify/internal/ml"
+)
+
+// InformationGain computes, for every feature of a binary-labeled
+// corpus, the information gain of the feature's presence/absence
+// indicator with respect to the class — the classic text feature-
+// selection criterion (Chakrabarti et al., cited by the paper). Feature
+// values are reduced to presence (non-zero) for the computation, which
+// matches term-occurrence semantics.
+func InformationGain(ds *ml.Dataset) []float64 {
+	n := ds.Len()
+	gains := make([]float64, ds.Dim)
+	if n == 0 {
+		return gains
+	}
+	var pos int
+	for _, y := range ds.Y {
+		if y == ml.Legitimate {
+			pos++
+		}
+	}
+	classH := binEntropy(float64(pos) / float64(n))
+
+	// present[f][c] counts instances of class c containing feature f.
+	presentPos := make([]int, ds.Dim)
+	presentAll := make([]int, ds.Dim)
+	for i, x := range ds.X {
+		for _, f := range x.Ind {
+			presentAll[f]++
+			if ds.Y[i] == ml.Legitimate {
+				presentPos[f]++
+			}
+		}
+	}
+	for f := 0; f < ds.Dim; f++ {
+		pa := presentAll[f]
+		if pa == 0 || pa == n {
+			continue // constant indicator: zero gain
+		}
+		pp := presentPos[f]
+		ap := pos - pp
+		aa := n - pa
+		hPresent := entropy2(pp, pa-pp)
+		hAbsent := entropy2(ap, aa-ap)
+		cond := (float64(pa)*hPresent + float64(aa)*hAbsent) / float64(n)
+		if g := classH - cond; g > 0 {
+			gains[f] = g
+		}
+	}
+	return gains
+}
+
+// TopFeaturesByGain returns the indices of the k features with the
+// highest information gain, in decreasing-gain order (stable index
+// tie-break).
+func TopFeaturesByGain(ds *ml.Dataset, k int) []int {
+	gains := InformationGain(ds)
+	idx := make([]int, len(gains))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return gains[idx[a]] > gains[idx[b]] })
+	if k > 0 && k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// Project restricts every instance of a dataset to the given feature
+// subset, remapping them to a compact 0..len(features)-1 space. It
+// returns the projected dataset and the old→new index map.
+func Project(ds *ml.Dataset, features []int) (*ml.Dataset, map[int]int) {
+	remap := make(map[int]int, len(features))
+	sorted := append([]int(nil), features...)
+	sort.Ints(sorted)
+	for newIdx, old := range sorted {
+		remap[old] = newIdx
+	}
+	out := &ml.Dataset{Dim: len(sorted)}
+	for i, x := range ds.X {
+		m := make(map[int]float64)
+		for k, f := range x.Ind {
+			if nf, ok := remap[int(f)]; ok {
+				m[nf] = x.Val[k]
+			}
+		}
+		name := ""
+		if i < len(ds.Names) {
+			name = ds.Names[i]
+		}
+		out.Add(ml.FromMap(m), ds.Y[i], name)
+	}
+	return out, remap
+}
+
+func binEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func entropy2(a, b int) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return binEntropy(float64(a) / float64(a+b))
+}

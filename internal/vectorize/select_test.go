@@ -1,0 +1,120 @@
+package vectorize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+// indicatorDataset: feature 0 perfectly predicts the class, feature 1
+// is pure noise, feature 2 is constant.
+func indicatorDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{Dim: 3}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		m := map[int]float64{2: 1}
+		if y == ml.Legitimate {
+			m[0] = 1
+		}
+		if rng.Intn(2) == 0 {
+			m[1] = 1
+		}
+		ds.Add(ml.FromMap(m), y, "")
+	}
+	return ds
+}
+
+func TestInformationGainOrdering(t *testing.T) {
+	ds := indicatorDataset(200, 1)
+	gains := InformationGain(ds)
+	if len(gains) != 3 {
+		t.Fatalf("len = %d", len(gains))
+	}
+	if math.Abs(gains[0]-1) > 1e-9 {
+		t.Errorf("perfect indicator gain = %v, want 1", gains[0])
+	}
+	if gains[1] > 0.05 {
+		t.Errorf("noise gain = %v, want ~0", gains[1])
+	}
+	if gains[2] != 0 {
+		t.Errorf("constant feature gain = %v, want 0", gains[2])
+	}
+}
+
+func TestInformationGainEmpty(t *testing.T) {
+	gains := InformationGain(&ml.Dataset{Dim: 2})
+	if gains[0] != 0 || gains[1] != 0 {
+		t.Error("empty dataset must have zero gains")
+	}
+}
+
+func TestTopFeaturesByGain(t *testing.T) {
+	ds := indicatorDataset(200, 2)
+	top := TopFeaturesByGain(ds, 1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("top = %v, want [0]", top)
+	}
+	all := TopFeaturesByGain(ds, 0)
+	if len(all) != 3 {
+		t.Errorf("k=0 must return all, got %d", len(all))
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds := &ml.Dataset{Dim: 4}
+	ds.Add(ml.NewVector([]float64{1, 2, 3, 4}), ml.Legitimate, "x")
+	ds.Add(ml.NewVector([]float64{0, 5, 0, 7}), ml.Illegitimate, "y")
+	out, remap := Project(ds, []int{3, 1})
+	if out.Dim != 2 {
+		t.Fatalf("dim = %d", out.Dim)
+	}
+	// Sorted feature order: 1 → 0, 3 → 1.
+	if remap[1] != 0 || remap[3] != 1 {
+		t.Errorf("remap = %v", remap)
+	}
+	if out.X[0].At(0) != 2 || out.X[0].At(1) != 4 {
+		t.Errorf("instance 0 projected wrong: %v", out.X[0])
+	}
+	if out.X[1].At(0) != 5 || out.X[1].At(1) != 7 {
+		t.Errorf("instance 1 projected wrong: %v", out.X[1])
+	}
+	if out.Names[1] != "y" || out.Y[1] != ml.Illegitimate {
+		t.Error("metadata lost")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: information gain is bounded by the class entropy and
+// non-negative.
+func TestInformationGainBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(100)
+		dim := 1 + rng.Intn(8)
+		ds := &ml.Dataset{Dim: dim}
+		for i := 0; i < n; i++ {
+			m := map[int]float64{}
+			for f := 0; f < dim; f++ {
+				if rng.Intn(2) == 0 {
+					m[f] = rng.Float64()
+				}
+			}
+			ds.Add(ml.FromMap(m), rng.Intn(2), "")
+		}
+		var pos int
+		for _, y := range ds.Y {
+			pos += y
+		}
+		classH := binEntropy(float64(pos) / float64(n))
+		for f, g := range InformationGain(ds) {
+			if g < 0 || g > classH+1e-9 {
+				t.Fatalf("gain[%d] = %v outside [0, H=%v]", f, g, classH)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package vectorize implements the Term Vector representation model of
+// the paper (§4.1.1): a vocabulary built from the training documents and
+// TF-IDF weighting of term occurrences, producing the sparse vectors
+// consumed by the classifiers.
+package vectorize
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"pharmaverify/internal/ml"
+)
+
+// Vocabulary maps terms to contiguous feature indices and carries the
+// document frequencies needed for IDF weighting.
+type Vocabulary struct {
+	index map[string]int
+	terms []string
+	df    []int // document frequency per term
+	docs  int   // number of documents seen
+}
+
+// BuildVocabulary constructs a vocabulary over the given tokenized
+// documents. Every distinct term becomes a feature; document
+// frequencies are recorded for IDF.
+func BuildVocabulary(docs [][]string) *Vocabulary {
+	v := &Vocabulary{index: make(map[string]int)}
+	for _, doc := range docs {
+		v.AddDocument(doc)
+	}
+	return v
+}
+
+// AddDocument folds one more document into the vocabulary.
+func (v *Vocabulary) AddDocument(terms []string) {
+	v.docs++
+	seen := make(map[int]bool, len(terms))
+	for _, t := range terms {
+		i, ok := v.index[t]
+		if !ok {
+			i = len(v.terms)
+			v.index[t] = i
+			v.terms = append(v.terms, t)
+			v.df = append(v.df, 0)
+		}
+		if !seen[i] {
+			v.df[i]++
+			seen[i] = true
+		}
+	}
+}
+
+// Size reports the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// Docs reports the number of documents folded in.
+func (v *Vocabulary) Docs() int { return v.docs }
+
+// Index returns the feature index of a term, or -1 if out of vocabulary.
+func (v *Vocabulary) Index(term string) int {
+	if i, ok := v.index[term]; ok {
+		return i
+	}
+	return -1
+}
+
+// Term returns the term at feature index i.
+func (v *Vocabulary) Term(i int) string { return v.terms[i] }
+
+// IDF returns the smoothed inverse document frequency of feature i:
+// log((1+N)/(1+df)) + 1, which stays positive for terms present in
+// every document and is defined for unseen-in-training terms.
+func (v *Vocabulary) IDF(i int) float64 {
+	return math.Log(float64(1+v.docs)/float64(1+v.df[i])) + 1
+}
+
+// TermCounts computes the raw term-frequency map of a document,
+// skipping out-of-vocabulary terms.
+func (v *Vocabulary) TermCounts(terms []string) map[int]float64 {
+	m := make(map[int]float64)
+	for _, t := range terms {
+		if i, ok := v.index[t]; ok {
+			m[i]++
+		}
+	}
+	return m
+}
+
+// Counts vectorizes a document as raw term counts (the representation
+// the multinomial Naïve Bayes model expects).
+func (v *Vocabulary) Counts(terms []string) ml.Vector {
+	return ml.FromMap(v.TermCounts(terms))
+}
+
+// TFIDF vectorizes a document with TF-IDF weights, L2-normalized (the
+// standard variant used for SVMs and trees on text).
+func (v *Vocabulary) TFIDF(terms []string) ml.Vector {
+	m := v.TermCounts(terms)
+	var norm float64
+	for i, tf := range m {
+		w := tf * v.IDF(i)
+		m[i] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range m {
+			m[i] /= norm
+		}
+	}
+	return ml.FromMap(m)
+}
+
+// vocabularyState is the JSON wire form of a Vocabulary.
+type vocabularyState struct {
+	Terms []string `json:"terms"`
+	DF    []int    `json:"df"`
+	Docs  int      `json:"docs"`
+}
+
+// MarshalJSON serializes the vocabulary (terms in index order, document
+// frequencies and the corpus size).
+func (v *Vocabulary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(vocabularyState{Terms: v.terms, DF: v.df, Docs: v.docs})
+}
+
+// UnmarshalJSON restores a vocabulary persisted with MarshalJSON.
+func (v *Vocabulary) UnmarshalJSON(data []byte) error {
+	var s vocabularyState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("vectorize: decode vocabulary: %w", err)
+	}
+	if len(s.Terms) != len(s.DF) {
+		return fmt.Errorf("vectorize: vocabulary has %d terms but %d frequencies", len(s.Terms), len(s.DF))
+	}
+	v.terms = s.Terms
+	v.df = s.DF
+	v.docs = s.Docs
+	v.index = make(map[string]int, len(s.Terms))
+	for i, t := range s.Terms {
+		if _, dup := v.index[t]; dup {
+			return fmt.Errorf("vectorize: duplicate term %q in vocabulary state", t)
+		}
+		v.index[t] = i
+	}
+	return nil
+}
+
+// TopTermsByDF returns up to k terms with the highest document
+// frequency, in decreasing order (ties broken alphabetically) — used
+// for corpus inspection and the paper-style most-frequent-term analysis.
+func (v *Vocabulary) TopTermsByDF(k int) []string {
+	idx := make([]int, len(v.terms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if v.df[idx[a]] != v.df[idx[b]] {
+			return v.df[idx[a]] > v.df[idx[b]]
+		}
+		return v.terms[idx[a]] < v.terms[idx[b]]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = v.terms[idx[i]]
+	}
+	return out
+}
+
+// Corpus pairs a vocabulary with the documents used to build it and
+// offers one-call dataset construction.
+type Corpus struct {
+	Vocab *Vocabulary
+	Docs  [][]string
+	Names []string
+	Y     []int
+}
+
+// NewCorpus builds a corpus (and vocabulary) from parallel slices of
+// tokenized documents, labels and names.
+func NewCorpus(docs [][]string, y []int, names []string) *Corpus {
+	return &Corpus{Vocab: BuildVocabulary(docs), Docs: docs, Names: names, Y: y}
+}
+
+// Weighting selects the vectorization applied by Dataset.
+type Weighting int
+
+const (
+	// WeightTFIDF produces L2-normalized TF-IDF vectors.
+	WeightTFIDF Weighting = iota
+	// WeightCounts produces raw term-count vectors.
+	WeightCounts
+)
+
+// Dataset vectorizes all corpus documents into an ml.Dataset.
+func (c *Corpus) Dataset(w Weighting) *ml.Dataset {
+	ds := &ml.Dataset{Dim: c.Vocab.Size()}
+	for i, doc := range c.Docs {
+		var x ml.Vector
+		switch w {
+		case WeightCounts:
+			x = c.Vocab.Counts(doc)
+		default:
+			x = c.Vocab.TFIDF(doc)
+		}
+		name := ""
+		if i < len(c.Names) {
+			name = c.Names[i]
+		}
+		ds.Add(x, c.Y[i], name)
+	}
+	return ds
+}

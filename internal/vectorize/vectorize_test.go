@@ -1,0 +1,139 @@
+package vectorize
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pharmaverify/internal/ml"
+)
+
+func docs() [][]string {
+	return [][]string{
+		{"viagra", "cialis", "cheap", "viagra"},
+		{"pharmacy", "prescription", "health"},
+		{"viagra", "pharmacy"},
+	}
+}
+
+func TestVocabularyIndexing(t *testing.T) {
+	v := BuildVocabulary(docs())
+	if v.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", v.Size())
+	}
+	if v.Docs() != 3 {
+		t.Errorf("Docs = %d", v.Docs())
+	}
+	i := v.Index("viagra")
+	if i < 0 || v.Term(i) != "viagra" {
+		t.Errorf("round trip failed: %d", i)
+	}
+	if v.Index("unknown") != -1 {
+		t.Error("unknown term must be -1")
+	}
+}
+
+func TestDocumentFrequency(t *testing.T) {
+	v := BuildVocabulary(docs())
+	// "viagra" appears in docs 0 and 2 (twice in doc 0, counted once).
+	if df := v.df[v.Index("viagra")]; df != 2 {
+		t.Errorf("df(viagra) = %d, want 2", df)
+	}
+	if df := v.df[v.Index("health")]; df != 1 {
+		t.Errorf("df(health) = %d, want 1", df)
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	v := BuildVocabulary(docs())
+	rare := v.IDF(v.Index("health"))   // df 1
+	common := v.IDF(v.Index("viagra")) // df 2
+	if rare <= common {
+		t.Errorf("IDF(rare)=%v must exceed IDF(common)=%v", rare, common)
+	}
+	if common <= 0 {
+		t.Errorf("IDF must stay positive, got %v", common)
+	}
+}
+
+func TestCountsVector(t *testing.T) {
+	v := BuildVocabulary(docs())
+	x := v.Counts([]string{"viagra", "viagra", "health", "zzz"})
+	if got := x.At(v.Index("viagra")); got != 2 {
+		t.Errorf("count(viagra) = %v", got)
+	}
+	if got := x.At(v.Index("health")); got != 1 {
+		t.Errorf("count(health) = %v", got)
+	}
+}
+
+func TestTFIDFNormalized(t *testing.T) {
+	v := BuildVocabulary(docs())
+	x := v.TFIDF([]string{"viagra", "cheap", "pharmacy"})
+	if n := ml.Norm2(x); math.Abs(n-1) > 1e-9 {
+		t.Errorf("L2 norm = %v, want 1", math.Sqrt(n))
+	}
+}
+
+func TestTFIDFEmptyDoc(t *testing.T) {
+	v := BuildVocabulary(docs())
+	x := v.TFIDF([]string{"zzz"}) // fully out-of-vocabulary
+	if x.Len() != 0 {
+		t.Errorf("OOV doc must vectorize to zero vector, got %v", x)
+	}
+}
+
+func TestTFIDFWeightsRareTermsHigher(t *testing.T) {
+	v := BuildVocabulary(docs())
+	x := v.TFIDF([]string{"viagra", "health"})
+	if x.At(v.Index("health")) <= x.At(v.Index("viagra")) {
+		t.Error("rare term should outweigh common term at equal tf")
+	}
+}
+
+func TestTopTermsByDF(t *testing.T) {
+	v := BuildVocabulary(docs())
+	top := v.TopTermsByDF(2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	// df: viagra=2, pharmacy=2, rest=1. Alphabetical tie-break.
+	want := []string{"pharmacy", "viagra"}
+	if !reflect.DeepEqual(top, want) {
+		t.Errorf("top = %v, want %v", top, want)
+	}
+	if got := v.TopTermsByDF(100); len(got) != v.Size() {
+		t.Errorf("k beyond size: %d", len(got))
+	}
+}
+
+func TestCorpusDataset(t *testing.T) {
+	c := NewCorpus(docs(), []int{ml.Illegitimate, ml.Legitimate, ml.Illegitimate}, []string{"a", "b", "c"})
+	ds := c.Dataset(WeightTFIDF)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.Dim != 6 {
+		t.Errorf("ds %d×%d", ds.Len(), ds.Dim)
+	}
+	if ds.Names[1] != "b" || ds.Y[1] != ml.Legitimate {
+		t.Error("names/labels lost")
+	}
+
+	counts := c.Dataset(WeightCounts)
+	if got := counts.X[0].At(c.Vocab.Index("viagra")); got != 2 {
+		t.Errorf("counts dataset wrong: %v", got)
+	}
+}
+
+func TestAddDocumentIncremental(t *testing.T) {
+	v := BuildVocabulary(nil)
+	v.AddDocument([]string{"alpha", "beta"})
+	v.AddDocument([]string{"beta", "gamma"})
+	if v.Size() != 3 || v.Docs() != 2 {
+		t.Errorf("size=%d docs=%d", v.Size(), v.Docs())
+	}
+	if v.df[v.Index("beta")] != 2 {
+		t.Error("incremental df wrong")
+	}
+}

@@ -1,0 +1,157 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Directory sites are non-pharmacy websites that point TO pharmacies —
+// the richer network input of the paper's future work (a). Two kinds
+// are generated:
+//
+//   - health portals ("healthportal<i>.org"): curated, trustworthy
+//     listings that link to legitimate pharmacies (including the
+//     network-isolated ones that the base TrustRank misses) and to
+//     authoritative health sites;
+//   - review directories ("pharma-reviews<i>.net"): paid-listing style
+//     sites that mostly index illegitimate storefronts.
+//
+// Directories are not labeled instances (they are not pharmacies), but
+// crawling them adds inbound edges to the link graph, which the A6
+// ablation feeds to TrustRank.
+
+// DirectoryKind distinguishes the two directory flavors.
+type DirectoryKind int
+
+const (
+	// HealthPortal lists legitimate pharmacies.
+	HealthPortal DirectoryKind = iota
+	// ReviewDirectory lists mostly illegitimate pharmacies.
+	ReviewDirectory
+)
+
+// Directory is one generated non-pharmacy site.
+type Directory struct {
+	Domain string
+	Kind   DirectoryKind
+	// Listed are the pharmacy domains the directory links to.
+	Listed []string
+	Pages  map[string]string
+	Paths  []string
+}
+
+// GenerateDirectories builds nPortals health portals and nReviews
+// review directories over the world's pharmacies. The result is
+// deterministic in the world's seed.
+func (w *World) GenerateDirectories(nPortals, nReviews int) []*Directory {
+	var legit, illegit, isolated []string
+	for _, d := range w.domains {
+		s := w.sites[d]
+		switch {
+		case s.Legitimate && s.Isolated:
+			isolated = append(isolated, d)
+		case s.Legitimate:
+			legit = append(legit, d)
+		default:
+			illegit = append(illegit, d)
+		}
+	}
+
+	var dirs []*Directory
+	for i := 0; i < nPortals; i++ {
+		domain := fmt.Sprintf("healthportal%d.org", i)
+		rng := siteRNG(w.cfg.Seed, w.cfg.Snapshot, domain, "directory")
+		d := &Directory{Domain: domain, Kind: HealthPortal}
+		// Portals curate a large share of the legitimate pharmacies —
+		// importantly including the isolated ones, which have no other
+		// connection to the trusted web.
+		d.Listed = sampleDomains(rng, legit, 0.7)
+		d.Listed = append(d.Listed, sampleDomains(rng, isolated, 0.7)...)
+		sort.Strings(d.Listed)
+		w.renderDirectory(d, rng)
+		dirs = append(dirs, d)
+	}
+	for i := 0; i < nReviews; i++ {
+		domain := fmt.Sprintf("pharma-reviews%d.net", i)
+		rng := siteRNG(w.cfg.Seed, w.cfg.Snapshot, domain, "directory")
+		d := &Directory{Domain: domain, Kind: ReviewDirectory}
+		d.Listed = sampleDomains(rng, illegit, 0.25)
+		d.Listed = append(d.Listed, sampleDomains(rng, legit, 0.05)...)
+		sort.Strings(d.Listed)
+		w.renderDirectory(d, rng)
+		dirs = append(dirs, d)
+	}
+	return dirs
+}
+
+func sampleDomains(rng interface{ Float64() float64 }, pool []string, p float64) []string {
+	var out []string
+	for _, d := range pool {
+		if rng.Float64() < p {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// renderDirectory produces listing pages, ~25 pharmacy links per page.
+func (w *World) renderDirectory(d *Directory, rng interface{ Intn(int) int }) {
+	const perPage = 25
+	d.Pages = make(map[string]string)
+	nPages := (len(d.Listed) + perPage - 1) / perPage
+	if nPages == 0 {
+		nPages = 1
+	}
+
+	var front strings.Builder
+	title := strings.SplitN(d.Domain, ".", 2)[0]
+	front.WriteString("<html><head><title>" + title + " directory</title></head><body>\n")
+	front.WriteString("<h1>" + title + "</h1>\n")
+	if d.Kind == HealthPortal {
+		front.WriteString("<p>Curated list of licensed verified pharmacies. Consumer health information and safety resources.</p>\n")
+		front.WriteString("<a href=\"http://www.fda.gov/\">FDA</a> <a href=\"http://www.nih.gov/\">NIH</a>\n")
+	} else {
+		front.WriteString("<p>Pharmacy reviews coupons discount codes best prices compare online drugstores.</p>\n")
+	}
+	for p := 0; p < nPages; p++ {
+		fmt.Fprintf(&front, "<a href=\"/list/%d\">listings page %d</a>\n", p, p+1)
+	}
+	front.WriteString("</body></html>\n")
+	d.Pages["/"] = front.String()
+	d.Paths = []string{"/"}
+
+	for p := 0; p < nPages; p++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><head><title>%s listings %d</title></head><body>\n<a href=\"/\">home</a>\n", title, p+1)
+		lo, hi := p*perPage, (p+1)*perPage
+		if hi > len(d.Listed) {
+			hi = len(d.Listed)
+		}
+		for _, pharm := range d.Listed[lo:hi] {
+			fmt.Fprintf(&b, "<div class=\"entry\"><a href=\"http://%s/\">%s</a> rating %d/5</div>\n",
+				pharm, strings.SplitN(pharm, ".", 2)[0], 1+rng.Intn(5))
+		}
+		b.WriteString("</body></html>\n")
+		path := fmt.Sprintf("/list/%d", p)
+		d.Pages[path] = b.String()
+		d.Paths = append(d.Paths, path)
+	}
+}
+
+// AttachDirectories registers directory sites as fetchable domains of
+// the world (so the crawler can reach them) and returns their domains.
+func (w *World) AttachDirectories(dirs []*Directory) []string {
+	var domains []string
+	for _, d := range dirs {
+		s := &Site{
+			Domain: d.Domain,
+			Pages:  d.Pages,
+			Paths:  d.Paths,
+		}
+		w.sites[d.Domain] = s
+		domains = append(domains, d.Domain)
+	}
+	sort.Strings(domains)
+	return domains
+}

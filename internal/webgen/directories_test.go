@@ -1,0 +1,131 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"pharmaverify/internal/htmlx"
+)
+
+func TestGenerateDirectoriesKindsAndListings(t *testing.T) {
+	w := Generate(smallConfig(30))
+	dirs := w.GenerateDirectories(3, 2)
+	if len(dirs) != 5 {
+		t.Fatalf("dirs = %d", len(dirs))
+	}
+	portals, reviews := 0, 0
+	for _, d := range dirs {
+		if len(d.Listed) == 0 {
+			t.Errorf("%s lists nothing", d.Domain)
+		}
+		switch d.Kind {
+		case HealthPortal:
+			portals++
+			for _, p := range d.Listed {
+				s := w.Site(p)
+				if s == nil || !s.Legitimate {
+					t.Errorf("portal %s lists non-legitimate %s", d.Domain, p)
+				}
+			}
+		case ReviewDirectory:
+			reviews++
+			illegit := 0
+			for _, p := range d.Listed {
+				if s := w.Site(p); s != nil && !s.Legitimate {
+					illegit++
+				}
+			}
+			if illegit == 0 {
+				t.Errorf("review site %s lists no illegitimate pharmacies", d.Domain)
+			}
+		}
+	}
+	if portals != 3 || reviews != 2 {
+		t.Errorf("portals=%d reviews=%d", portals, reviews)
+	}
+}
+
+func TestDirectoriesIncludeIsolatedLegit(t *testing.T) {
+	w := Generate(smallConfig(31))
+	var isolated []string
+	for _, d := range w.Domains() {
+		if s := w.Site(d); s.Legitimate && s.Isolated {
+			isolated = append(isolated, d)
+		}
+	}
+	if len(isolated) == 0 {
+		t.Skip("no isolated sites at this seed")
+	}
+	dirs := w.GenerateDirectories(5, 0)
+	listed := map[string]bool{}
+	for _, d := range dirs {
+		for _, p := range d.Listed {
+			listed[p] = true
+		}
+	}
+	found := 0
+	for _, iso := range isolated {
+		if listed[iso] {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no isolated legitimate pharmacy listed by any portal")
+	}
+}
+
+func TestDirectoryPagesLinkListedPharmacies(t *testing.T) {
+	w := Generate(smallConfig(32))
+	dirs := w.GenerateDirectories(1, 1)
+	for _, d := range dirs {
+		var all []string
+		for _, path := range d.Paths {
+			pg := htmlx.Parse(d.Pages[path])
+			all = append(all, pg.Links...)
+		}
+		joined := strings.Join(all, " ")
+		for _, p := range d.Listed {
+			if !strings.Contains(joined, p) {
+				t.Errorf("%s never links listed pharmacy %s", d.Domain, p)
+			}
+		}
+	}
+}
+
+func TestAttachDirectoriesFetchable(t *testing.T) {
+	w := Generate(smallConfig(33))
+	before := len(w.Domains())
+	dirs := w.GenerateDirectories(2, 1)
+	domains := w.AttachDirectories(dirs)
+	if len(domains) != 3 {
+		t.Fatalf("attached %d", len(domains))
+	}
+	for _, d := range domains {
+		if _, err := w.Fetch(d, "/"); err != nil {
+			t.Errorf("Fetch(%s) = %v", d, err)
+		}
+	}
+	// Pharmacy domain list must be unchanged: directories are not
+	// labeled instances.
+	if len(w.Domains()) != before {
+		t.Error("AttachDirectories changed the pharmacy domain list")
+	}
+	if _, ok := w.Labels()[domains[0]]; ok {
+		t.Error("directory received a class label")
+	}
+}
+
+func TestDirectoriesDeterministic(t *testing.T) {
+	a := Generate(smallConfig(34)).GenerateDirectories(2, 2)
+	b := Generate(smallConfig(34)).GenerateDirectories(2, 2)
+	for i := range a {
+		if a[i].Domain != b[i].Domain || len(a[i].Listed) != len(b[i].Listed) {
+			t.Fatal("directories not deterministic")
+		}
+		for j := range a[i].Listed {
+			if a[i].Listed[j] != b[i].Listed[j] {
+				t.Fatal("listings differ across runs")
+			}
+		}
+	}
+}

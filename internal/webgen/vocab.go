@@ -1,0 +1,162 @@
+package webgen
+
+// Vocabulary pools for synthetic pharmacy-site text. The pools encode
+// the signals documented in the paper: illegitimate storefronts
+// over-represent terms like "viagra", "cialis" and discount language
+// (§6.3.1), while legitimate pharmacies carry broader health content,
+// verification seals and store-presence features (Mavlanova &
+// Benbunan-Fich, cited as [23]).
+
+// commonWords is shared filler used by both classes: generic commerce
+// and health vocabulary plus frequent English words that survive
+// stop-word removal.
+var commonWords = []string{
+	"medication", "medications", "medicine", "medicines", "dosage", "dose",
+	"tablet", "tablets", "capsule", "capsules", "pill", "pills",
+	"pharmacy", "pharmacies", "drug", "drugs", "treatment", "therapy",
+	"order", "orders", "shipping", "delivery", "shipment", "cart",
+	"checkout", "payment", "price", "prices", "product", "products",
+	"customer", "customers", "account", "email", "phone", "address",
+	"search", "home", "page", "website", "online", "store", "shop",
+	"buy", "purchase", "available", "quantity", "brand", "generic",
+	"quality", "safe", "safety", "effective", "information", "details",
+	"read", "more", "view", "all", "new", "best", "top", "popular",
+	"contact", "help", "support", "service", "services", "faq",
+	"about", "policy", "terms", "conditions", "privacy", "copyright",
+	"health", "healthcare", "medical", "doctor", "doctors", "patient",
+	"patients", "care", "advice", "questions", "answers", "guide",
+	"daily", "weekly", "free", "fast", "easy", "secure", "trusted",
+	"today", "now", "here", "please", "welcome", "thank", "you",
+	"pain", "relief", "allergy", "cold", "flu", "fever", "headache",
+	"skin", "heart", "blood", "pressure", "diabetes", "cholesterol",
+	"vitamins", "supplements", "first", "aid", "baby", "personal",
+}
+
+// drugNames are generic pharmaceutical names both classes sell.
+var drugNames = []string{
+	"amoxicillin", "lisinopril", "metformin", "atorvastatin", "omeprazole",
+	"amlodipine", "metoprolol", "albuterol", "gabapentin", "losartan",
+	"hydrochlorothiazide", "sertraline", "simvastatin", "levothyroxine",
+	"azithromycin", "ibuprofen", "acetaminophen", "naproxen", "aspirin",
+	"prednisone", "tramadol", "trazodone", "citalopram", "fluoxetine",
+	"montelukast", "pantoprazole", "escitalopram", "rosuvastatin",
+	"bupropion", "furosemide", "clopidogrel", "tamsulosin", "warfarin",
+	"cetirizine", "loratadine", "ranitidine", "doxycycline", "cephalexin",
+}
+
+// legitWords mark legitimate pharmacies: regulation, verification
+// seals, store presence, broad health content, insurance and refills.
+var legitWords = []string{
+	"prescription", "prescriptions", "prescriber", "physician",
+	"licensed", "license", "pharmacist", "pharmacists", "verified",
+	"verification", "accredited", "accreditation", "vipps", "nabp",
+	"fda", "approved", "regulation", "regulations", "compliance",
+	"insurance", "medicare", "medicaid", "copay", "coverage",
+	"refill", "refills", "transfer", "consultation", "counseling",
+	"immunization", "immunizations", "vaccine", "vaccines", "flu",
+	"wellness", "clinic", "clinics", "locations", "location", "hours",
+	"locator", "community", "hospital", "professional", "board",
+	"certified", "certification", "state", "federal", "requirements",
+	"genuine", "authentic", "manufacturer", "authorized", "dispensing",
+	"monograph", "interactions", "side", "effects", "warnings",
+	"screening", "management", "chronic", "condition", "symptoms",
+	"nutrition", "fitness", "smoking", "cessation", "blood",
+	"glucose", "monitor", "testing", "records", "confidential",
+	"hipaa", "rights", "notice", "practices", "career", "careers",
+	"investors", "press", "news", "blog", "newsletter", "mobile",
+	"app", "rewards", "loyalty", "savings", "program", "returns",
+}
+
+// illegitWords mark illegitimate pharmacies: lifestyle drugs,
+// no-prescription language, aggressive discounting and anonymity.
+var illegitWords = []string{
+	"viagra", "cialis", "levitra", "kamagra", "sildenafil", "tadalafil",
+	"vardenafil", "priligy", "dapoxetine", "propecia", "finasteride",
+	"clomid", "nolvadex", "accutane", "soma", "ultram", "xanax",
+	"valium", "ambien", "phentermine", "adipex", "tramadol",
+	"cheap", "cheapest", "discount", "discounts", "lowest", "bargain",
+	"bonus", "extra", "sale", "offer", "offers", "deal", "deals",
+	"special", "promo", "coupon", "savings", "wholesale",
+	"rx", "norx", "prescriptionfree", "needed", "required", "without",
+	"overnight", "express", "worldwide", "international", "anonymous",
+	"discreet", "packaging", "unmarked", "guarantee", "guaranteed",
+	"moneyback", "refund", "visa", "mastercard", "amex", "echeck",
+	"bitcoin", "western", "union", "wire",
+	"erectile", "dysfunction", "impotence", "enhancement", "stamina",
+	"performance", "libido", "weight", "loss", "slimming", "diet",
+	"steroids", "anabolic", "hgh", "testosterone", "antibiotics",
+	"pfizer", "soft", "tabs", "jelly", "super", "active", "professional",
+	"trial", "pack", "samples", "reorder", "vip", "membership",
+}
+
+// legitSiteNames and illegitSiteNames seed generated domain names.
+var legitSiteNames = []string{
+	"caremark", "healthbridge", "medplus", "wellspring", "goodhealth",
+	"cornerstone", "familycare", "truscript", "medtrust", "carepoint",
+	"healthfirst", "pharmacare", "wellcare", "homepharm", "citydrug",
+	"villagepharmacy", "lakeside", "riverside", "parkview", "suncare",
+}
+
+var illegitSiteNames = []string{
+	"cheappills", "rxexpress", "pillsdirect", "medsbargain", "fastrx",
+	"discountmeds", "pharmadeal", "bluepillshop", "edstore", "rxdepot",
+	"genericworld", "pillmart", "megapharm", "quickmeds", "tabsonline",
+	"bestpricerx", "noscriptmeds", "globalpills", "supermeds", "drugbay",
+}
+
+// legitEndpoints are the external sites legitimate pharmacies link to,
+// with per-site linking probabilities calibrated so that the top-10
+// most-linked list reproduces Table 11 (left column).
+var legitEndpoints = []weightedEndpoint{
+	{"facebook.com", 0.94},
+	{"twitter.com", 0.87},
+	{"fda.gov", 0.80},
+	{"google.com", 0.73},
+	{"youtube.com", 0.66},
+	{"nih.gov", 0.59},
+	{"adobe.com", 0.52},
+	{"cdc.gov", 0.45},
+	{"doubleclick.net", 0.38},
+	{"nabp.net", 0.31},
+	{"medlineplus.gov", 0.20},
+	{"healthfinder.gov", 0.16},
+	{"medicalnewstoday.com", 0.13},
+	{"who.int", 0.10},
+	{"instagram.com", 0.08},
+	{"pinterest.com", 0.06},
+}
+
+// illegitEndpoints reproduce the right column of Table 11. Note that
+// rxwinners.com and euro-med-store.com are themselves illegitimate
+// pharmacy endpoints, as the paper observes.
+var illegitEndpoints = []weightedEndpoint{
+	{"wikipedia.org", 0.78},
+	{"wordpress.org", 0.72},
+	{"drugs.com", 0.66},
+	{"securebilling-page.com", 0.60},
+	{"rxwinners.com", 0.54},
+	{"google.com", 0.48},
+	{"providesupport.com", 0.42},
+	{"euro-med-store.com", 0.36},
+	{"statcounter.com", 0.30},
+	{"cipla.com", 0.24},
+	{"blogspot.com", 0.18},
+	{"paymentgate-secure.net", 0.14},
+	{"livechatinc.com", 0.10},
+	{"canadapharmacyreviews.net", 0.06},
+}
+
+// isolatedEndpoints is the long-tail name pool used by network-isolated
+// sites (legitimate outliers that sell new prescriptions through their
+// own niche channels); each generated link is further suffixed with the
+// site name so isolated sites never share endpoints.
+var isolatedEndpoints = []string{
+	"local-supplier", "county-health", "smalltown-news",
+	"privatelabel-meds", "family-clinic", "regional-wholesale",
+	"neighborhood-guide", "main-street-biz",
+}
+
+type weightedEndpoint struct {
+	Domain string
+	P      float64
+}

@@ -1,0 +1,296 @@
+// Package webgen generates a deterministic synthetic web of online
+// pharmacies. It substitutes for the proprietary PharmaVerComp crawls
+// used in the paper (see DESIGN.md): sites carry the same textual and
+// link-structure signals the paper documents for legitimate and
+// illegitimate pharmacies, so the downstream classifiers and rankers
+// exercise the same code paths and reproduce the published result
+// shapes.
+//
+// Everything is a pure function of (Config.Seed, Config.Snapshot,
+// domain): re-generating a world yields byte-identical pages.
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Config controls world generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Snapshot selects the crawl epoch: 1 for Dataset 1, 2 for the
+	// re-crawl six months later (Dataset 2). Snapshot 2 re-generates
+	// the same legitimate domains with fresh text and drifts the
+	// illegitimate text distribution toward legitimate vocabulary.
+	Snapshot int
+	// NumLegit and NumIllegit size the two classes (Table 1: 167/1292
+	// for Dataset 1, 167/1275 for Dataset 2).
+	NumLegit, NumIllegit int
+	// IllegitOffset shifts illegitimate domain indices so snapshots
+	// have disjoint illegitimate domains, as in the paper.
+	IllegitOffset int
+	// MinPages/MaxPages bound the page count per site (default 6/18).
+	MinPages, MaxPages int
+	// MinWords/MaxWords bound the words per page (default 60/130).
+	MinWords, MaxWords int
+	// NetworkSize is the number of illegitimate sites per affiliate
+	// network, each anchored on a hub pharmacy (default 50).
+	NetworkSize int
+	// IsolatedLegitFraction is the share of legitimate pharmacies with
+	// no links into the trusted web (the paper's poorly-ranked
+	// "new prescription" outliers; default 0.25).
+	IsolatedLegitFraction float64
+	// EvaderFraction is the share of illegitimate pharmacies that
+	// avoid affiliate networks and imitate legitimate sites (the
+	// paper's illegitimate ranking outliers; default 0.02).
+	EvaderFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Snapshot == 0 {
+		c.Snapshot = 1
+	}
+	if c.NumLegit == 0 {
+		c.NumLegit = 167
+	}
+	if c.NumIllegit == 0 {
+		c.NumIllegit = 1292
+	}
+	if c.MinPages == 0 {
+		c.MinPages = 6
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = 18
+	}
+	if c.MinWords == 0 {
+		c.MinWords = 60
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = 130
+	}
+	if c.NetworkSize == 0 {
+		c.NetworkSize = 50
+	}
+	if c.IsolatedLegitFraction == 0 {
+		c.IsolatedLegitFraction = 0.25
+	}
+	if c.EvaderFraction == 0 {
+		c.EvaderFraction = 0.02
+	}
+	return c
+}
+
+// Dataset1Config returns the paper's Dataset 1 shape (167 legitimate,
+// 1292 illegitimate pharmacies).
+func Dataset1Config(seed int64) Config {
+	return Config{Seed: seed, Snapshot: 1, NumLegit: 167, NumIllegit: 1292}
+}
+
+// Dataset2Config returns Dataset 2: the same 167 legitimate domains
+// re-crawled six months later plus 1275 fresh illegitimate domains
+// (disjoint from Dataset 1's, via the offset).
+func Dataset2Config(seed int64) Config {
+	return Config{Seed: seed, Snapshot: 2, NumLegit: 167, NumIllegit: 1275, IllegitOffset: 1292}
+}
+
+// Site is one generated pharmacy website.
+type Site struct {
+	Domain     string
+	Legitimate bool
+	// Hub marks the anchor pharmacy of an illegitimate affiliate
+	// network; HubDomain is the hub a networked member links to.
+	Hub       bool
+	HubDomain string
+	// Isolated marks sites with no links into the well-known web
+	// (legitimate "new prescription" outliers).
+	Isolated bool
+	// Evader marks illegitimate sites that imitate legitimate ones in
+	// both text and links.
+	Evader bool
+	// Pages maps URL paths to HTML documents; Paths preserves a
+	// deterministic order with "/" first.
+	Pages map[string]string
+	Paths []string
+
+	// externals holds the pre-assigned well-known endpoint links
+	// (see assignExternals).
+	externals []string
+}
+
+// World is a generated set of pharmacy sites. It implements the
+// crawler's Fetcher contract via the Fetch method.
+type World struct {
+	cfg     Config
+	sites   map[string]*Site
+	domains []string
+}
+
+// Generate builds the world for a configuration.
+func Generate(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	w := &World{cfg: cfg, sites: make(map[string]*Site)}
+
+	type plan struct {
+		domain string
+		legit  bool
+		index  int
+	}
+	var plans []plan
+	for i := 0; i < cfg.NumLegit; i++ {
+		plans = append(plans, plan{legitDomain(i), true, i})
+	}
+	for i := 0; i < cfg.NumIllegit; i++ {
+		plans = append(plans, plan{illegitDomain(i + cfg.IllegitOffset), false, i + cfg.IllegitOffset})
+	}
+
+	// First pass: create sites and assign roles (hub domains must exist
+	// before members can link to them).
+	var hubs []string
+	for _, p := range plans {
+		s := &Site{Domain: p.domain, Legitimate: p.legit}
+		if p.legit {
+			s.Isolated = roleDraw(cfg.Seed, p.domain, "isolated") < cfg.IsolatedLegitFraction
+		} else {
+			s.Evader = roleDraw(cfg.Seed, p.domain, "evader") < cfg.EvaderFraction
+			s.Hub = !s.Evader && p.index%cfg.NetworkSize == 0
+			if s.Hub {
+				hubs = append(hubs, p.domain)
+			}
+		}
+		w.sites[p.domain] = s
+		w.domains = append(w.domains, p.domain)
+	}
+	sort.Strings(w.domains)
+
+	// Second pass: attach networked members to hubs, assign the
+	// well-known external endpoints with exact per-endpoint counts
+	// (so the Table-11 ordering is structural, not sampling luck), and
+	// render pages.
+	for _, p := range plans {
+		s := w.sites[p.domain]
+		if !s.Legitimate && !s.Hub && !s.Evader && len(hubs) > 0 {
+			s.HubDomain = hubs[(p.index/cfg.NetworkSize)%len(hubs)]
+		}
+	}
+	w.assignExternals()
+	for _, p := range plans {
+		w.renderSite(w.sites[p.domain])
+	}
+	return w
+}
+
+// assignExternals distributes the weighted well-known endpoints over the
+// sites of each class with exact counts: endpoint e with probability P
+// is linked by round(P·n) of the n eligible sites, selected by a
+// deterministic per-(site,endpoint) hash order. This keeps the expected
+// distributions of the paper's Table 11 while eliminating binomial rank
+// swaps between adjacent endpoints.
+func (w *World) assignExternals() {
+	var legitSites, illegitSites []*Site
+	for _, d := range w.domains {
+		s := w.sites[d]
+		switch {
+		case s.Legitimate && !s.Isolated:
+			legitSites = append(legitSites, s)
+		case !s.Legitimate && !s.Evader:
+			illegitSites = append(illegitSites, s)
+		}
+	}
+	assign := func(sites []*Site, ep weightedEndpoint) {
+		k := int(ep.P*float64(len(sites)) + 0.5)
+		if k <= 0 {
+			return
+		}
+		order := make([]*Site, len(sites))
+		copy(order, sites)
+		sort.Slice(order, func(i, j int) bool {
+			return roleDraw(w.cfg.Seed, order[i].Domain, "ep|"+ep.Domain) <
+				roleDraw(w.cfg.Seed, order[j].Domain, "ep|"+ep.Domain)
+		})
+		if k > len(order) {
+			k = len(order)
+		}
+		for _, s := range order[:k] {
+			s.externals = append(s.externals, "http://www."+ep.Domain+"/")
+		}
+	}
+	for _, ep := range legitEndpoints {
+		assign(legitSites, ep)
+	}
+	for _, ep := range illegitEndpoints {
+		assign(illegitSites, ep)
+	}
+	// Illegitimate storefronts sprinkle links to popular trusted sites
+	// (social buttons, analytics) so the network signal stays noisy.
+	for _, ep := range legitEndpoints[:5] {
+		assign(illegitSites, weightedEndpoint{Domain: ep.Domain, P: 0.12})
+	}
+}
+
+// Domains returns all site domains in sorted order.
+func (w *World) Domains() []string { return append([]string(nil), w.domains...) }
+
+// Site returns the site for a domain, or nil.
+func (w *World) Site(domain string) *Site { return w.sites[domain] }
+
+// Fetch returns the HTML of a page, satisfying the crawler Fetcher
+// contract. Unknown domains or paths yield an error.
+func (w *World) Fetch(domain, path string) (string, error) {
+	s, ok := w.sites[domain]
+	if !ok {
+		return "", fmt.Errorf("webgen: unknown domain %q", domain)
+	}
+	if path == "" {
+		path = "/"
+	}
+	html, ok := s.Pages[path]
+	if !ok {
+		return "", fmt.Errorf("webgen: %s has no page %q", domain, path)
+	}
+	return html, nil
+}
+
+// Labels returns pharmacy domain → class (1 legitimate, 0
+// illegitimate). Attached auxiliary sites (directories) carry no label
+// and are excluded.
+func (w *World) Labels() map[string]int {
+	m := make(map[string]int, len(w.domains))
+	for _, d := range w.domains {
+		if w.sites[d].Legitimate {
+			m[d] = 1
+		} else {
+			m[d] = 0
+		}
+	}
+	return m
+}
+
+func legitDomain(i int) string {
+	return fmt.Sprintf("%s%d-pharmacy.com", legitSiteNames[i%len(legitSiteNames)], i)
+}
+
+var illegitTLDs = []string{".com", ".net", ".biz", ".info", ".ru", ".su", ".in"}
+
+func illegitDomain(i int) string {
+	name := illegitSiteNames[i%len(illegitSiteNames)]
+	return fmt.Sprintf("%s%d%s", name, i, illegitTLDs[i%len(illegitTLDs)])
+}
+
+// siteRNG derives a deterministic random stream for one site in one
+// snapshot.
+func siteRNG(seed int64, snapshot int, domain, salt string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s", seed, snapshot, domain, salt)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// roleDraw is a snapshot-independent uniform draw in [0,1) for stable
+// role assignment (roles must not flip between snapshots).
+func roleDraw(seed int64, domain, role string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|role|%s|%s", seed, domain, role)
+	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+}

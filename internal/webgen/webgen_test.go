@@ -1,0 +1,262 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"pharmaverify/internal/htmlx"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{Seed: seed, Snapshot: 1, NumLegit: 20, NumIllegit: 80, NetworkSize: 20}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	w := Generate(smallConfig(1))
+	st := w.Stats()
+	if st.Legit != 20 || st.Illegit != 80 || st.Total != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hubs == 0 {
+		t.Error("no affiliate hubs generated")
+	}
+	if st.Isolated == 0 {
+		t.Error("no isolated legitimate sites")
+	}
+	if st.Pages < 100*6 {
+		t.Errorf("pages = %d, too few", st.Pages)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	if len(a.Domains()) != len(b.Domains()) {
+		t.Fatal("domain counts differ")
+	}
+	for _, d := range a.Domains() {
+		sa, sb := a.Site(d), b.Site(d)
+		if len(sa.Paths) != len(sb.Paths) {
+			t.Fatalf("site %s paths differ", d)
+		}
+		for _, p := range sa.Paths {
+			if sa.Pages[p] != sb.Pages[p] {
+				t.Fatalf("site %s page %s differs between runs", d, p)
+			}
+		}
+	}
+}
+
+func TestSeedChangesContent(t *testing.T) {
+	a := Generate(smallConfig(1))
+	b := Generate(smallConfig(2))
+	d := a.Domains()[0]
+	if a.Site(d).Pages["/"] == b.Site(d).Pages["/"] {
+		t.Error("different seeds produced identical front pages")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	w := Generate(smallConfig(3))
+	d := w.Domains()[0]
+	if _, err := w.Fetch(d, "/"); err != nil {
+		t.Fatalf("Fetch(%s, /) = %v", d, err)
+	}
+	if _, err := w.Fetch(d, ""); err != nil {
+		t.Errorf("empty path must mean front page: %v", err)
+	}
+	if _, err := w.Fetch("nosuch.example", "/"); err == nil {
+		t.Error("unknown domain must error")
+	}
+	if _, err := w.Fetch(d, "/nosuch"); err == nil {
+		t.Error("unknown path must error")
+	}
+}
+
+func TestPagesAreParseableHTML(t *testing.T) {
+	w := Generate(smallConfig(4))
+	for _, d := range w.Domains()[:10] {
+		s := w.Site(d)
+		for _, p := range s.Paths {
+			pg := htmlx.Parse(s.Pages[p])
+			if pg.Text == "" {
+				t.Fatalf("%s%s has no visible text", d, p)
+			}
+			if pg.Title == "" {
+				t.Fatalf("%s%s has no title", d, p)
+			}
+		}
+	}
+}
+
+func TestFrontPageLinksAllPages(t *testing.T) {
+	w := Generate(smallConfig(5))
+	d := w.Domains()[0]
+	s := w.Site(d)
+	front := htmlx.Parse(s.Pages["/"])
+	linked := map[string]bool{}
+	for _, l := range front.Links {
+		linked[l] = true
+	}
+	for _, p := range s.Paths[1:] {
+		if !linked[p] {
+			t.Errorf("front page misses internal link %s", p)
+		}
+	}
+}
+
+func TestClassTextSignals(t *testing.T) {
+	w := Generate(smallConfig(6))
+	legitViagra, legitDocs := 0, 0
+	illegitViagra, illegitDocs := 0, 0
+	for _, d := range w.Domains() {
+		s := w.Site(d)
+		text := strings.ToLower(s.Summary())
+		hasViagra := strings.Contains(text, "viagra") || strings.Contains(text, "cialis")
+		if s.Legitimate {
+			legitDocs++
+			if hasViagra {
+				legitViagra++
+			}
+		} else if !s.Evader {
+			illegitDocs++
+			if hasViagra {
+				illegitViagra++
+			}
+		}
+	}
+	if float64(illegitViagra)/float64(illegitDocs) < 0.9 {
+		t.Errorf("illegit viagra rate = %d/%d, want ~1", illegitViagra, illegitDocs)
+	}
+	if float64(legitViagra)/float64(legitDocs) > 0.9 {
+		t.Errorf("legit viagra rate = %d/%d, should be visibly lower", legitViagra, legitDocs)
+	}
+}
+
+func TestLegitSeals(t *testing.T) {
+	w := Generate(smallConfig(7))
+	for _, d := range w.Domains() {
+		s := w.Site(d)
+		hasSeal := strings.Contains(s.Pages["/"], "VIPPS")
+		if s.Legitimate && !hasSeal {
+			t.Errorf("legit site %s missing verification seal", d)
+		}
+		if !s.Legitimate && hasSeal {
+			t.Errorf("illegit site %s displays VIPPS seal", d)
+		}
+	}
+}
+
+func TestNetworkedIllegitLinkHub(t *testing.T) {
+	w := Generate(smallConfig(8))
+	found := false
+	for _, d := range w.Domains() {
+		s := w.Site(d)
+		if s.Legitimate || s.Hub || s.Evader || s.HubDomain == "" {
+			continue
+		}
+		if !strings.Contains(s.Summary(), s.HubDomain) {
+			t.Errorf("networked site %s never links hub %s", d, s.HubDomain)
+		}
+		found = true
+	}
+	if !found {
+		t.Error("no networked illegitimate sites in world")
+	}
+}
+
+func TestIsolatedLegitAvoidTrustedEndpoints(t *testing.T) {
+	w := Generate(smallConfig(9))
+	for _, d := range w.Domains() {
+		s := w.Site(d)
+		if !s.Legitimate || !s.Isolated {
+			continue
+		}
+		text := s.Summary()
+		for _, ep := range []string{"facebook.com", "fda.gov", "twitter.com"} {
+			if strings.Contains(text, ep) {
+				t.Errorf("isolated site %s links trusted endpoint %s", d, ep)
+			}
+		}
+	}
+}
+
+func TestSnapshotsShareLegitDomainsOnly(t *testing.T) {
+	w1 := Generate(Config{Seed: 1, Snapshot: 1, NumLegit: 10, NumIllegit: 30, NetworkSize: 10})
+	w2 := Generate(Config{Seed: 1, Snapshot: 2, NumLegit: 10, NumIllegit: 25, IllegitOffset: 30, NetworkSize: 10})
+	d1 := map[string]bool{}
+	for _, d := range w1.Domains() {
+		d1[d] = true
+	}
+	sharedLegit, sharedIllegit := 0, 0
+	for _, d := range w2.Domains() {
+		if !d1[d] {
+			continue
+		}
+		if w2.Site(d).Legitimate {
+			sharedLegit++
+		} else {
+			sharedIllegit++
+		}
+	}
+	if sharedLegit != 10 {
+		t.Errorf("shared legit = %d, want all 10", sharedLegit)
+	}
+	if sharedIllegit != 0 {
+		t.Errorf("shared illegit = %d, want 0 (paper: empty intersection)", sharedIllegit)
+	}
+}
+
+func TestSnapshotDriftChangesText(t *testing.T) {
+	w1 := Generate(Config{Seed: 1, Snapshot: 1, NumLegit: 5, NumIllegit: 5, NetworkSize: 5})
+	w2 := Generate(Config{Seed: 1, Snapshot: 2, NumLegit: 5, NumIllegit: 5, IllegitOffset: 0, NetworkSize: 5})
+	d := w1.Domains()[0]
+	if w1.Site(d).Pages["/"] == w2.Site(d).Pages["/"] {
+		t.Error("re-crawled site has byte-identical content")
+	}
+}
+
+func TestRolesStableAcrossSnapshots(t *testing.T) {
+	w1 := Generate(Config{Seed: 3, Snapshot: 1, NumLegit: 20, NumIllegit: 20, NetworkSize: 10})
+	w2 := Generate(Config{Seed: 3, Snapshot: 2, NumLegit: 20, NumIllegit: 20, NetworkSize: 10})
+	for _, d := range w1.Domains() {
+		s1, s2 := w1.Site(d), w2.Site(d)
+		if s2 == nil {
+			continue
+		}
+		if s1.Isolated != s2.Isolated || s1.Hub != s2.Hub || s1.Evader != s2.Evader {
+			t.Errorf("site %s changed roles between snapshots", d)
+		}
+	}
+}
+
+func TestDataset1Config(t *testing.T) {
+	c := Dataset1Config(42).withDefaults()
+	if c.NumLegit != 167 || c.NumIllegit != 1292 {
+		t.Errorf("Dataset1Config = %+v", c)
+	}
+	c2 := Dataset2Config(42).withDefaults()
+	if c2.NumLegit != 167 || c2.NumIllegit != 1275 || c2.IllegitOffset != 1292 {
+		t.Errorf("Dataset2Config = %+v", c2)
+	}
+}
+
+func TestDomainUniqueness(t *testing.T) {
+	w := Generate(smallConfig(10))
+	seen := map[string]bool{}
+	for _, d := range w.Domains() {
+		if seen[d] {
+			t.Fatalf("duplicate domain %s", d)
+		}
+		seen[d] = true
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := smallConfig(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
