@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pharmaverify/internal/bench"
+	"pharmaverify/internal/dataset"
 )
 
 func main() {
@@ -63,9 +64,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("datasets ready in %v: %s has %d pharmacies, %s has %d\n\n",
+	fmt.Printf("datasets ready in %v: %s has %d pharmacies, %s has %d\n",
 		time.Since(start).Round(time.Millisecond),
 		env.Snap1.Name, env.Snap1.Len(), env.Snap2.Name, env.Snap2.Len())
+	for _, snap := range []*dataset.Snapshot{env.Snap1, env.Snap2} {
+		if st := snap.CrawlStats; st != nil {
+			fmt.Printf("crawl telemetry (%s): %d attempts, %d retries, %d failed, %d pages lost, %d breaker trips, %.1f MiB\n",
+				snap.Name, st.Attempts, st.Retries, st.Failures, st.PagesFailed, st.BreakerTrips,
+				float64(st.Bytes)/(1<<20))
+		}
+	}
+	fmt.Println()
 
 	run := func(r bench.Runner) {
 		t0 := time.Now()

@@ -70,6 +70,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pharmaverify <generate|classify|rank|stats> [flags]
   generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
+            [-retries N] [-failure-budget N] [-flaky RATE]   (resilient-crawl knobs)
   train     -in FILE -out MODEL.json [-classifier SVM] [-terms N]
   classify  -train FILE | -model MODEL.json, -test FILE [-classifier SVM] [-terms N]
   rank      -train FILE -test FILE [-top N]
@@ -85,6 +86,9 @@ func cmdGenerate(args []string) error {
 	legit := fs.Int("legit", 167, "number of legitimate pharmacies")
 	illegit := fs.Int("illegit", 1292, "number of illegitimate pharmacies")
 	offset := fs.Int("offset", 0, "illegitimate domain offset (use Dataset 1's -illegit for disjoint Dataset 2)")
+	retries := fs.Int("retries", 1, "fetch attempts per page (retry budget)")
+	budget := fs.Int("failure-budget", 0, "per-domain circuit breaker: consecutive lost pages before giving up (0 = off)")
+	flaky := fs.Float64("flaky", 0, "inject seeded transient fetch failures at this rate (exercise the resilient crawl path)")
 	out := fs.String("out", "", "output snapshot file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,8 +103,16 @@ func cmdGenerate(args []string) error {
 		cfg.IllegitOffset = *illegit
 	}
 	world := webgen.Generate(cfg)
+	var fetcher crawler.Fetcher = world
+	if *flaky > 0 {
+		fetcher = crawler.NewFaultInjector(world, crawler.FaultConfig{Seed: *seed, TransientRate: *flaky})
+	}
+	crawlCfg := crawler.Config{
+		Retry:         crawler.RetryConfig{MaxAttempts: *retries, Seed: *seed},
+		FailureBudget: *budget,
+	}
 	name := fmt.Sprintf("snapshot-%d-seed-%d", *snapshot, *seed)
-	snap, err := dataset.Build(name, world, world.Domains(), world.Labels(), crawler.Config{}, 16)
+	snap, err := dataset.Build(name, fetcher, world.Domains(), world.Labels(), crawlCfg, 16)
 	if err != nil {
 		return err
 	}
@@ -120,7 +132,22 @@ func cmdGenerate(args []string) error {
 	l, i := snap.Counts()
 	fmt.Fprintf(os.Stderr, "wrote %s: %d pharmacies (%d legitimate, %d illegitimate)\n",
 		name, snap.Len(), l, i)
+	printCrawlStats(snap.CrawlStats)
 	return nil
+}
+
+// printCrawlStats reports crawl telemetry on stderr.
+func printCrawlStats(st *crawler.Stats) {
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"crawl: %d attempts (%d retries), %d ok / %d failed, %d pages lost, %d breaker trips, %.1f KiB\n",
+		st.Attempts, st.Retries, st.Successes, st.Failures, st.PagesFailed, st.BreakerTrips,
+		float64(st.Bytes)/1024)
+	if st.RobotsUnreachable {
+		fmt.Fprintln(os.Stderr, "crawl: warning: robots.txt unreachable for at least one domain (proceeded as allow-all)")
+	}
 }
 
 func loadSnapshot(path string) (*dataset.Snapshot, error) {
@@ -171,6 +198,7 @@ func cmdTrain(args []string) error {
 	l, i := snap.Counts()
 	fmt.Fprintf(os.Stderr, "trained %s verifier on %d pharmacies (%d legit / %d illegit)\n",
 		*clf, snap.Len(), l, i)
+	printCrawlStats(v.TrainingCrawlStats())
 	return nil
 }
 
@@ -404,6 +432,11 @@ func cmdStats(args []string) error {
 	if n := snap.Len(); n > 0 {
 		fmt.Printf("avg pages/site: %.1f  avg terms/summary: %.0f  avg outbound endpoints/site: %.1f\n",
 			float64(pages)/float64(n), float64(terms)/float64(n), float64(endpoints)/float64(n))
+	}
+	if st := snap.CrawlStats; st != nil {
+		fmt.Printf("crawl telemetry: %d attempts (%d retries), %d ok / %d failed, %d pages lost, %d breaker trips, %.1f KiB fetched\n",
+			st.Attempts, st.Retries, st.Successes, st.Failures, st.PagesFailed, st.BreakerTrips,
+			float64(st.Bytes)/1024)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"time"
 
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/crawler"
@@ -70,16 +71,36 @@ func main() {
 		return h.Fetch(host, "/"+domain+path)
 	})
 
+	// Live crawls get the resilient configuration: retries with backoff
+	// for transient network failures, a per-attempt timeout, and a
+	// circuit breaker so one dead site cannot stall the audit.
+	liveCfg := crawler.Config{
+		MaxPages: 50,
+		Retry: crawler.RetryConfig{
+			MaxAttempts: 4,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		},
+		FetchTimeout:  5 * time.Second,
+		FailureBudget: 8,
+	}
 	var audited []dataset.Pharmacy
+	var crawlStats crawler.Stats
 	labels := liveWorld.Labels()
 	for _, domain := range liveWorld.Domains() {
 		snap, err := dataset.Build("live", crawlerAdapter{fetcher, domain}, []string{domain},
-			map[string]int{domain: labels[domain]}, crawler.Config{MaxPages: 50}, 1)
+			map[string]int{domain: labels[domain]}, liveCfg, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		audited = append(audited, snap.Pharmacies...)
+		if snap.CrawlStats != nil {
+			crawlStats.Add(*snap.CrawlStats)
+		}
 	}
+	fmt.Printf("live crawl telemetry: %d attempts (%d retries), %d ok / %d failed, %d breaker trips\n\n",
+		crawlStats.Attempts, crawlStats.Retries, crawlStats.Successes, crawlStats.Failures,
+		crawlStats.BreakerTrips)
 
 	// Assess the freshly crawled pharmacies with the trained system.
 	fmt.Println("audit results (higher rank = more legitimate):")

@@ -105,6 +105,9 @@ func TestJ48WithSMOTE(t *testing.T) {
 }
 
 func TestNGGTextCV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow model training; skipped in -short")
+	}
 	snap := testSnapshot(t, 1)
 	res, err := TextCV(snap, TextConfig{
 		Representation: NGramGraphs, Classifier: MLP, Terms: 250, Seed: 7,
@@ -168,6 +171,9 @@ func TestTextBeatsNetworkOnAUC(t *testing.T) {
 }
 
 func TestEnsembleCV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow model training; skipped in -short")
+	}
 	snap := testSnapshot(t, 1)
 	res, err := EnsembleCV(snap, EnsembleConfig{Terms: 250, Seed: 7})
 	if err != nil {
@@ -203,6 +209,9 @@ func TestRankCV(t *testing.T) {
 }
 
 func TestRankCVNGG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow model training; skipped in -short")
+	}
 	snap := testSnapshot(t, 1)
 	res, err := RankCV(snap, RankConfig{Representation: NGramGraphs, Terms: 250, Seed: 7})
 	if err != nil {

@@ -66,9 +66,23 @@ func NetworkScores(snap *dataset.Snapshot, seeds map[string]float64, cfg Network
 	cfg = cfg.withDefaults()
 	outbound := snap.Outbound()
 	if cfg.IncludeAuxiliary {
-		for d, eps := range snap.AuxOutbound() {
-			outbound[d] = eps
+		// snap.Outbound() is shared (and memoized) snapshot state: merge
+		// the auxiliary endpoints into a copy so repeated calls — e.g.
+		// one per CV fold — never see a graph polluted by a previous
+		// call. Unioning also keeps a pharmacy's own links if an
+		// auxiliary crawl reuses its domain.
+		merged := make(map[string][]string, len(outbound)+len(snap.Aux))
+		for d, eps := range outbound {
+			merged[d] = eps
 		}
+		for d, eps := range snap.AuxOutbound() {
+			if own, ok := merged[d]; ok {
+				merged[d] = append(append([]string(nil), own...), eps...)
+			} else {
+				merged[d] = eps
+			}
+		}
+		outbound = merged
 	}
 	g := trust.BuildGraph(outbound)
 

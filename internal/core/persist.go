@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/ml/bayes"
 	"pharmaverify/internal/ml/mlp"
@@ -25,6 +26,9 @@ type verifierState struct {
 	Network       json.RawMessage     `json:"network"` // Gaussian NB
 	TrainOutbound map[string][]string `json:"trainOutbound"`
 	Seeds         map[string]float64  `json:"seeds"`
+	// TrainCrawl is the training snapshot's crawl telemetry (optional;
+	// absent in models saved by older versions).
+	TrainCrawl *crawler.Stats `json:"trainCrawl,omitempty"`
 }
 
 // Save serializes the trained verifier as JSON, so a model trained once
@@ -52,6 +56,7 @@ func (v *Verifier) Save(w io.Writer) error {
 		Network:       network,
 		TrainOutbound: v.trainOutbound,
 		Seeds:         v.seeds,
+		TrainCrawl:    v.trainCrawl,
 	})
 }
 
@@ -81,6 +86,7 @@ func LoadVerifier(r io.Reader) (*Verifier, error) {
 		netClf:        network,
 		trainOutbound: s.TrainOutbound,
 		seeds:         s.Seeds,
+		trainCrawl:    s.TrainCrawl,
 	}, nil
 }
 

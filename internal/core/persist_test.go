@@ -10,6 +10,9 @@ func TestVerifierSaveLoadRoundTrip(t *testing.T) {
 	for _, kind := range []ClassifierKind{NBM, SVM, J48, MLP} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
+			if kind == MLP && testing.Short() {
+				t.Skip("MLP training is slow; skipped in -short")
+			}
 			v, err := Train(snap, Options{Classifier: kind, Terms: 250, Seed: 7})
 			if err != nil {
 				t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/trust"
@@ -50,6 +51,10 @@ type Verifier struct {
 	// Training link structure and seeds, for scoring new pharmacies.
 	trainOutbound map[string][]string
 	seeds         map[string]float64
+	// trainCrawl is the crawl telemetry of the training snapshot (nil
+	// when the snapshot predates crawl stats), kept so a shipped model
+	// records the health of the crawl it was trained on.
+	trainCrawl *crawler.Stats
 }
 
 // Assessment is the verdict for one pharmacy.
@@ -113,6 +118,7 @@ func Train(snap *dataset.Snapshot, opts Options) (*Verifier, error) {
 		text:          text,
 		trainOutbound: snap.Outbound(),
 		seeds:         make(map[string]float64),
+		trainCrawl:    snap.CrawlStats,
 	}
 	for _, p := range snap.Pharmacies {
 		if p.Label == ml.Legitimate {
@@ -183,6 +189,13 @@ func (v *Verifier) Assess(pharmacies []dataset.Pharmacy) []Assessment {
 	}
 	return out
 }
+
+// TrainingCrawlStats returns the crawl telemetry of the snapshot the
+// verifier was trained on, or nil if unavailable. A training crawl with
+// many lost pages or breaker trips yields a model whose text features
+// under-represent the affected sites — surfacing this lets operators
+// decide whether to re-crawl before shipping the model.
+func (v *Verifier) TrainingCrawlStats() *crawler.Stats { return v.trainCrawl }
 
 // RankAssessments sorts assessments by decreasing legitimacy score,
 // producing the totally ordered set of Problem 2.

@@ -7,9 +7,23 @@
 // The crawler is generic over a Fetcher, so it runs against the
 // synthetic web of internal/webgen in experiments and against live HTTP
 // (HTTPFetcher) when pointed at the real internet.
+//
+// # Resilience
+//
+// Real crawls fail in transient ways. Config.Retry enables per-request
+// retries with exponential backoff and deterministic jitter;
+// Config.FetchTimeout bounds each attempt; Config.FailureBudget is a
+// per-domain circuit breaker that abandons a domain after N consecutive
+// lost pages and degrades gracefully to whatever was collected. Errors
+// marked with Permanent (HTTP 4xx, webgen's unknown pages) are never
+// retried. Every crawl reports its telemetry in Result.Stats, and the
+// FaultInjector wrapper provides a seeded flaky-world harness for
+// exercising all of this deterministically.
 package crawler
 
 import (
+	"errors"
+	"path"
 	"sort"
 	"strings"
 	"sync"
@@ -22,7 +36,9 @@ import (
 const DefaultMaxPages = 200
 
 // Fetcher retrieves one page of a domain. Implementations must be safe
-// for concurrent use.
+// for concurrent use. Errors marked via Permanent (or exposing a
+// Permanent() bool method) are treated as hard failures and never
+// retried; all other errors count as transient.
 type Fetcher interface {
 	Fetch(domain, path string) (html string, err error)
 }
@@ -35,7 +51,9 @@ func (f FetcherFunc) Fetch(domain, path string) (string, error) { return f(domai
 
 // Config controls a crawl.
 type Config struct {
-	// MaxPages caps pages fetched per domain (default 200).
+	// MaxPages caps pages collected per domain (default 200). The
+	// crawler never starts more fetches than can still fit under the
+	// cap, so fetch attempts stay within MaxPages × Retry.MaxAttempts.
 	MaxPages int
 	// Workers is the number of concurrent fetches per domain
 	// (default 4).
@@ -47,10 +65,24 @@ type Config struct {
 	// crawler fetches /robots.txt first and honors Disallow rules, as
 	// crawler4j does.
 	IgnoreRobots bool
-	// Delay inserts a politeness pause before every page fetch
-	// (crawler4j's politenessDelay). Zero means no delay — appropriate
-	// for the synthetic web; set ~200ms+ for live crawls.
+	// Delay inserts a politeness pause before every fetch attempt,
+	// including the robots.txt request (crawler4j's politenessDelay).
+	// Zero means no delay — appropriate for the synthetic web; set
+	// ~200ms+ for live crawls.
 	Delay time.Duration
+	// Retry enables per-request retries with exponential backoff; the
+	// zero value means a single attempt per request.
+	Retry RetryConfig
+	// FetchTimeout bounds one fetch attempt (0 = unbounded). Timed-out
+	// attempts count as transient failures and are retried under the
+	// Retry budget.
+	FetchTimeout time.Duration
+	// FailureBudget is the per-domain circuit breaker: after this many
+	// consecutive pages are lost (retries exhausted or permanent
+	// errors), the crawl of the domain stops and returns the pages
+	// collected so far with Stats.BreakerTrips set. 0 disables the
+	// breaker.
+	FailureBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +95,7 @@ func (c Config) withDefaults() Config {
 	if c.UserAgent == "" {
 		c.UserAgent = "pharmaverify"
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -82,8 +115,12 @@ type Result struct {
 	// External holds the raw external link URLs found anywhere on the
 	// site, deduplicated, sorted.
 	External []string
-	// Fetched and Failed count page fetch attempts.
+	// Fetched and Failed count page fetch attempts (including
+	// retries): Fetched mirrors Stats.Attempts and Failed mirrors
+	// Stats.Failures.
 	Fetched, Failed int
+	// Stats is the full crawl telemetry for this domain.
+	Stats Stats
 }
 
 // Text returns the merged text of all pages (the summarization input).
@@ -97,71 +134,139 @@ func (r Result) Text() []string {
 
 // Crawl fetches one domain breadth-first starting from "/". Unless
 // Config.IgnoreRobots is set, /robots.txt is consulted first and
-// disallowed paths are skipped (a missing robots.txt allows all).
+// disallowed paths are skipped. A missing robots.txt (permanent error)
+// allows all; a robots.txt that stays unreachable through the retry
+// budget also allows all but is recorded in Stats.RobotsUnreachable.
 func Crawl(f Fetcher, domain string, cfg Config) Result {
 	cfg = cfg.withDefaults()
 
+	var (
+		mu sync.Mutex
+		st Stats
+	)
+
+	// fetchRetry runs the full politeness + timeout + retry loop for
+	// one path. Counters are recorded under mu; robots.txt traffic goes
+	// to the dedicated robots counters so page attempts stay comparable
+	// to MaxPages.
+	fetchRetry := func(p string, robots bool) (html string, err error) {
+		for attempt := 1; ; attempt++ {
+			if cfg.Delay > 0 {
+				time.Sleep(cfg.Delay)
+			}
+			html, err = fetchWithTimeout(f, domain, p, cfg.FetchTimeout)
+
+			mu.Lock()
+			if robots {
+				st.RobotsAttempts++
+				if err != nil {
+					st.RobotsFailures++
+				}
+			} else {
+				st.Attempts++
+				if attempt > 1 {
+					st.Retries++
+				}
+				if err == nil {
+					st.Successes++
+					st.Bytes += int64(len(html))
+				} else {
+					st.Failures++
+				}
+			}
+			if errors.Is(err, ErrFetchTimeout) {
+				st.Timeouts++
+			}
+			mu.Unlock()
+
+			if err == nil || IsPermanent(err) || attempt >= cfg.Retry.MaxAttempts {
+				return html, err
+			}
+			if d := cfg.Retry.backoff(domain, p, attempt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+
 	var robots *Robots
 	if !cfg.IgnoreRobots {
-		if body, err := f.Fetch(domain, "/robots.txt"); err == nil {
+		body, err := fetchRetry("/robots.txt", true)
+		switch {
+		case err == nil:
 			robots = ParseRobots(body)
+		case !IsPermanent(err):
+			// Still failing transiently after the whole retry budget:
+			// proceed as allow-all but say so, instead of silently
+			// conflating an unreachable robots.txt with a missing one.
+			st.RobotsUnreachable = true
 		}
 	}
 	allowed := func(path string) bool {
 		return robots.Allowed(cfg.UserAgent, path)
 	}
 	if !allowed("/") {
-		return Result{Domain: domain}
+		return Result{Domain: domain, Stats: st}
 	}
 
 	var (
-		mu       sync.Mutex
-		seen     = map[string]bool{"/": true}
-		frontier = []string{"/"}
-		inFlight int
-		pages    []Page
-		external = map[string]bool{}
-		failed   int
-		cond     = sync.NewCond(&mu)
+		seen        = map[string]bool{"/": true}
+		frontier    = []string{"/"}
+		inFlight    int
+		pages       []Page
+		external    = map[string]bool{}
+		consecutive int // consecutive lost pages, for the breaker
+		tripped     bool
+		cond        = sync.NewCond(&mu)
 	)
 
 	worker := func() {
 		for {
 			mu.Lock()
-			for len(frontier) == 0 && inFlight > 0 {
+			for {
+				if tripped {
+					mu.Unlock()
+					return
+				}
+				// Claim work only while a page slot is free: the
+				// in-flight reservation guarantees the crawl never
+				// fetches (or retries) pages that could not be kept,
+				// and that len(pages) never exceeds MaxPages.
+				if len(frontier) > 0 && len(pages)+inFlight < cfg.MaxPages {
+					break
+				}
+				if inFlight == 0 {
+					// Nothing running: the frontier is empty or the cap
+					// is reached for good.
+					mu.Unlock()
+					return
+				}
 				cond.Wait()
-			}
-			if len(frontier) == 0 || len(pages) >= cfg.MaxPages {
-				mu.Unlock()
-				return
 			}
 			path := frontier[0]
 			frontier = frontier[1:]
 			inFlight++
 			mu.Unlock()
 
-			if cfg.Delay > 0 {
-				time.Sleep(cfg.Delay)
-			}
-			html, err := f.Fetch(domain, path)
+			html, err := fetchRetry(path, false)
 
 			mu.Lock()
 			inFlight--
 			if err != nil {
-				failed++
+				st.PagesFailed++
+				consecutive++
+				if cfg.FailureBudget > 0 && consecutive >= cfg.FailureBudget && !tripped {
+					tripped = true
+					st.BreakerTrips++
+				}
 				cond.Broadcast()
 				mu.Unlock()
 				continue
 			}
-			if len(pages) >= cfg.MaxPages {
-				cond.Broadcast()
-				mu.Unlock()
-				return
-			}
+			consecutive = 0
 			pg := htmlx.Parse(html)
 			pages = append(pages, Page{Path: path, Title: pg.Title, Text: pg.Text, Links: pg.Links})
 			for _, link := range pg.Links {
-				if ip, ok := internalPath(link, domain); ok {
+				if ip, ok := internalPath(link, path, domain); ok {
 					if !allowed(ip) {
 						continue
 					}
@@ -198,14 +303,16 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 		Domain:   domain,
 		Pages:    pages,
 		External: ext,
-		Fetched:  len(pages),
-		Failed:   failed,
+		Fetched:  st.Attempts,
+		Failed:   st.Failures,
+		Stats:    st,
 	}
 }
 
 // CrawlAll crawls many domains concurrently (parallel controls the
 // number of simultaneous domain crawls; 0 means 8) and returns results
-// keyed by domain.
+// keyed by domain. Aggregate the per-domain telemetry with
+// AggregateStats.
 func CrawlAll(f Fetcher, domains []string, cfg Config, parallel int) map[string]Result {
 	if parallel <= 0 {
 		parallel = 8
@@ -230,11 +337,12 @@ func CrawlAll(f Fetcher, domains []string, cfg Config, parallel int) map[string]
 	return results
 }
 
-// internalPath resolves a link against the crawled domain. It accepts
-// site-relative paths ("/x"), same-document-relative names ("page2"),
-// and absolute URLs whose host is the domain or its www alias, and
-// returns the normalized path.
-func internalPath(link, domain string) (string, bool) {
+// internalPath resolves a link found on the page at base against the
+// crawled domain. It accepts site-relative paths ("/x"), page-relative
+// references ("page2", "../up") resolved against the referring page's
+// directory, and absolute URLs whose host is the domain or its www
+// alias, and returns the normalized path.
+func internalPath(link, base, domain string) (string, bool) {
 	switch {
 	case link == "" || strings.HasPrefix(link, "#") ||
 		strings.HasPrefix(link, "mailto:") || strings.HasPrefix(link, "javascript:") ||
@@ -263,8 +371,13 @@ func internalPath(link, domain string) (string, bool) {
 	if strings.HasPrefix(link, "/") {
 		return splitFragment(link), true
 	}
-	// Bare relative name: resolve against the site root.
-	return splitFragment("/" + link), true
+	// Page-relative reference: resolve against the referring page's
+	// directory, so "page2" on /docs/a yields /docs/page2 (not /page2).
+	dir := "/"
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		dir = base[:i+1]
+	}
+	return splitFragment(path.Clean(dir + splitFragment(link))), true
 }
 
 func splitFragment(p string) string {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pharmaverify/internal/webgen"
 )
@@ -46,15 +47,210 @@ func TestCrawlFollowsInternalLinks(t *testing.T) {
 }
 
 func TestCrawlMaxPages(t *testing.T) {
-	// A chain of 50 pages with a cap of 10.
+	// A chain of 50 pages with a cap of 10: the crawler must stop at 10
+	// pages AND must not waste fetches (or politeness delay) on pages
+	// it would discard afterwards.
 	f := mapFetcher{}
 	for i := 0; i < 50; i++ {
 		f[fmt.Sprintf("x.com|/p%d", i)] = fmt.Sprintf(`<a href="/p%d">next</a><p>n</p>`, i+1)
 	}
 	f["x.com|/"] = `<a href="/p0">start</a>`
-	r := Crawl(f, "x.com", Config{MaxPages: 10})
-	if len(r.Pages) > 10 {
+	pageFetches := int32(0)
+	counting := FetcherFunc(func(domain, path string) (string, error) {
+		if path != "/robots.txt" {
+			atomic.AddInt32(&pageFetches, 1)
+		}
+		return f.Fetch(domain, path)
+	})
+	r := Crawl(counting, "x.com", Config{MaxPages: 10, Workers: 4})
+	if len(r.Pages) != 10 {
 		t.Errorf("crawled %d pages, cap 10", len(r.Pages))
+	}
+	if n := atomic.LoadInt32(&pageFetches); n != 10 {
+		t.Errorf("issued %d page fetches for a cap of 10 (over-fetch)", n)
+	}
+	if r.Fetched != 10 {
+		t.Errorf("Fetched = %d, want 10 fetch attempts", r.Fetched)
+	}
+}
+
+func TestCrawlWorkersExceedFrontierNoDeadlock(t *testing.T) {
+	// A one-page site crawled with far more workers than frontier
+	// entries: every idle worker must wake up and exit.
+	f := mapFetcher{"x.com|/": `<p>only page</p>`}
+	done := make(chan Result, 1)
+	go func() { done <- Crawl(f, "x.com", Config{Workers: 32}) }()
+	select {
+	case r := <-done:
+		if len(r.Pages) != 1 {
+			t.Errorf("pages = %d, want 1", len(r.Pages))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Crawl deadlocked with Workers > frontier")
+	}
+}
+
+func TestCrawlRetriesTransientErrors(t *testing.T) {
+	// "/a" fails twice transiently before succeeding; with a retry
+	// budget of 3 the page must be recovered and the counters must
+	// record the retries.
+	var aCalls int32
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		switch path {
+		case "/robots.txt":
+			return "", Permanent(errors.New("404"))
+		case "/":
+			return `<a href="/a">a</a><p>root</p>`, nil
+		case "/a":
+			if atomic.AddInt32(&aCalls, 1) <= 2 {
+				return "", errors.New("connection reset")
+			}
+			return `<p>recovered</p>`, nil
+		}
+		return "", Permanent(errors.New("404"))
+	})
+	r := Crawl(f, "x.com", Config{Retry: RetryConfig{MaxAttempts: 3}})
+	if len(r.Pages) != 2 {
+		t.Fatalf("pages = %d, want 2 (transient failure must be retried)", len(r.Pages))
+	}
+	if r.Stats.Retries != 2 || r.Stats.Failures != 2 {
+		t.Errorf("retries=%d failures=%d, want 2/2", r.Stats.Retries, r.Stats.Failures)
+	}
+	if r.Stats.Attempts != r.Stats.Successes+r.Stats.Failures {
+		t.Errorf("stats do not reconcile: %+v", r.Stats)
+	}
+}
+
+func TestCrawlDoesNotRetryPermanentErrors(t *testing.T) {
+	var missingCalls int32
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		switch path {
+		case "/robots.txt":
+			return "", Permanent(errors.New("404"))
+		case "/":
+			return `<a href="/missing">gone</a><p>root</p>`, nil
+		}
+		atomic.AddInt32(&missingCalls, 1)
+		return "", Permanent(errors.New("404"))
+	})
+	r := Crawl(f, "x.com", Config{Retry: RetryConfig{MaxAttempts: 5}})
+	if n := atomic.LoadInt32(&missingCalls); n != 1 {
+		t.Errorf("permanent 404 fetched %d times, want 1", n)
+	}
+	if r.Stats.PagesFailed != 1 {
+		t.Errorf("PagesFailed = %d, want 1", r.Stats.PagesFailed)
+	}
+}
+
+func TestCrawlCircuitBreaker(t *testing.T) {
+	// The front page lists many children, all of which hard-fail. With
+	// FailureBudget 3 the crawl must stop after 3 consecutive lost
+	// pages and keep what it has instead of hammering the domain.
+	var links strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&links, `<a href="/dead%d">x</a>`, i)
+	}
+	var childFetches int32
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		switch path {
+		case "/robots.txt":
+			return "", Permanent(errors.New("404"))
+		case "/":
+			return links.String() + "<p>root</p>", nil
+		}
+		atomic.AddInt32(&childFetches, 1)
+		return "", Permanent(errors.New("503 forever"))
+	})
+	r := Crawl(f, "x.com", Config{Workers: 1, FailureBudget: 3})
+	if r.Stats.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", r.Stats.BreakerTrips)
+	}
+	if n := atomic.LoadInt32(&childFetches); n != 3 {
+		t.Errorf("fetched %d dead children before tripping, want 3", n)
+	}
+	if len(r.Pages) != 1 {
+		t.Errorf("pages = %d, want the 1 page collected before the trip", len(r.Pages))
+	}
+}
+
+func TestCrawlFetchTimeout(t *testing.T) {
+	slow := make(chan struct{})
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		if path == "/robots.txt" {
+			return "", Permanent(errors.New("404"))
+		}
+		if path == "/hang" {
+			<-slow
+			return "", errors.New("never reached in time")
+		}
+		return `<a href="/hang">h</a><p>root</p>`, nil
+	})
+	r := Crawl(f, "x.com", Config{FetchTimeout: 50 * time.Millisecond})
+	close(slow)
+	if r.Stats.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", r.Stats.Timeouts)
+	}
+	if len(r.Pages) != 1 {
+		t.Errorf("pages = %d, want 1", len(r.Pages))
+	}
+}
+
+func TestCrawlRobotsRetriedWithDelay(t *testing.T) {
+	// robots.txt fails transiently once; with retries enabled the
+	// second attempt must land and its Disallow rules must be honored —
+	// a flaky robots fetch must not silently allow everything.
+	var robotsCalls int32
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		switch path {
+		case "/robots.txt":
+			if atomic.AddInt32(&robotsCalls, 1) == 1 {
+				return "", errors.New("i/o timeout")
+			}
+			return "User-agent: *\nDisallow: /private", nil
+		case "/":
+			return `<a href="/private/x">p</a><a href="/ok">ok</a><p>root</p>`, nil
+		case "/ok":
+			return `<p>ok</p>`, nil
+		}
+		return "", Permanent(errors.New("404"))
+	})
+	r := Crawl(f, "x.com", Config{Retry: RetryConfig{MaxAttempts: 3}})
+	if got := atomic.LoadInt32(&robotsCalls); got != 2 {
+		t.Errorf("robots.txt fetched %d times, want 2 (one retry)", got)
+	}
+	if r.Stats.RobotsUnreachable {
+		t.Error("RobotsUnreachable set although the retry succeeded")
+	}
+	for _, p := range r.Pages {
+		if strings.HasPrefix(p.Path, "/private") {
+			t.Errorf("crawled disallowed path %s", p.Path)
+		}
+	}
+	if len(r.Pages) != 2 {
+		t.Errorf("pages = %d, want 2", len(r.Pages))
+	}
+}
+
+func TestCrawlRobotsUnreachableRecorded(t *testing.T) {
+	f := FetcherFunc(func(domain, path string) (string, error) {
+		if path == "/robots.txt" {
+			return "", errors.New("i/o timeout") // transient, forever
+		}
+		if path == "/" {
+			return `<p>root</p>`, nil
+		}
+		return "", Permanent(errors.New("404"))
+	})
+	r := Crawl(f, "x.com", Config{Retry: RetryConfig{MaxAttempts: 2}})
+	if !r.Stats.RobotsUnreachable {
+		t.Error("RobotsUnreachable not recorded for a robots.txt that kept timing out")
+	}
+	if r.Stats.RobotsAttempts != 2 || r.Stats.RobotsFailures != 2 {
+		t.Errorf("robots attempts/failures = %d/%d, want 2/2",
+			r.Stats.RobotsAttempts, r.Stats.RobotsFailures)
+	}
+	if len(r.Pages) != 1 {
+		t.Errorf("pages = %d, want 1 (crawl degrades to allow-all)", len(r.Pages))
 	}
 }
 
@@ -63,8 +259,16 @@ func TestCrawlHandlesFetchErrors(t *testing.T) {
 		"x.com|/": `<a href="/missing">gone</a><p>root</p>`,
 	}
 	r := Crawl(f, "x.com", Config{})
-	if r.Failed != 1 || r.Fetched != 1 {
-		t.Errorf("fetched=%d failed=%d", r.Fetched, r.Failed)
+	// Fetched counts fetch attempts: "/" (success) and "/missing"
+	// (failure).
+	if r.Fetched != 2 || r.Failed != 1 {
+		t.Errorf("fetched=%d failed=%d, want 2/1", r.Fetched, r.Failed)
+	}
+	if r.Stats.Attempts != r.Stats.Successes+r.Stats.Failures {
+		t.Errorf("stats do not reconcile: %+v", r.Stats)
+	}
+	if r.Stats.PagesFailed != 1 {
+		t.Errorf("PagesFailed = %d, want 1", r.Stats.PagesFailed)
 	}
 }
 
@@ -114,25 +318,53 @@ func TestCrawlFragmentsAndSchemesIgnored(t *testing.T) {
 
 func TestInternalPath(t *testing.T) {
 	cases := []struct {
-		link, domain, want string
-		ok                 bool
+		link, base, domain, want string
+		ok                       bool
 	}{
-		{"/about", "x.com", "/about", true},
-		{"about", "x.com", "/about", true},
-		{"http://x.com/a", "x.com", "/a", true},
-		{"http://www.x.com/a", "x.com", "/a", true},
-		{"http://x.com", "x.com", "/", true},
-		{"http://x.com:8080/a", "x.com", "/a", true},
-		{"http://other.com/a", "x.com", "", false},
-		{"//x.com/a", "x.com", "/a", true},
-		{"#frag", "x.com", "", false},
-		{"", "x.com", "", false},
+		{"/about", "/", "x.com", "/about", true},
+		{"about", "/", "x.com", "/about", true},
+		{"http://x.com/a", "/", "x.com", "/a", true},
+		{"http://www.x.com/a", "/", "x.com", "/a", true},
+		{"http://x.com", "/", "x.com", "/", true},
+		{"http://x.com:8080/a", "/", "x.com", "/a", true},
+		{"http://other.com/a", "/", "x.com", "", false},
+		{"//x.com/a", "/", "x.com", "/a", true},
+		{"#frag", "/", "x.com", "", false},
+		{"", "/", "x.com", "", false},
+		// Page-relative references resolve against the referring page's
+		// directory, not the site root.
+		{"page2", "/docs/a", "x.com", "/docs/page2", true},
+		{"page2", "/docs/", "x.com", "/docs/page2", true},
+		{"sub/page", "/docs/a", "x.com", "/docs/sub/page", true},
+		{"../up", "/docs/sub/a", "x.com", "/docs/up", true},
+		{"./here", "/docs/a", "x.com", "/docs/here", true},
+		{"../../past-root", "/a", "x.com", "/past-root", true},
+		{"page2#frag", "/docs/a", "x.com", "/docs/page2", true},
 	}
 	for _, c := range cases {
-		got, ok := internalPath(c.link, c.domain)
+		got, ok := internalPath(c.link, c.base, c.domain)
 		if got != c.want || ok != c.ok {
-			t.Errorf("internalPath(%q,%q) = %q,%v want %q,%v", c.link, c.domain, got, ok, c.want, c.ok)
+			t.Errorf("internalPath(%q,%q,%q) = %q,%v want %q,%v", c.link, c.base, c.domain, got, ok, c.want, c.ok)
 		}
+	}
+}
+
+func TestCrawlResolvesRelativeLinks(t *testing.T) {
+	f := mapFetcher{
+		"x.com|/":            `<a href="/docs/a">docs</a><p>root</p>`,
+		"x.com|/docs/a":      `<a href="b">sibling</a><a href="sub/c">deeper</a><p>a</p>`,
+		"x.com|/docs/b":      `<p>b</p>`,
+		"x.com|/docs/sub/c":  `<a href="../b">up</a><p>c</p>`,
+		"x.com|/b":           `<p>WRONG: root-resolved sibling</p>`,
+	}
+	r := Crawl(f, "x.com", Config{})
+	var paths []string
+	for _, p := range r.Pages {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"/", "/docs/a", "/docs/b", "/docs/sub/c"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("crawled paths = %v, want %v", paths, want)
 	}
 }
 

@@ -1,0 +1,101 @@
+package crawler
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig parameterizes deterministic fault injection. Every
+// decision is a pure function of (Seed, domain, path, attempt number),
+// so a faulty crawl is exactly reproducible: two injectors with the
+// same configuration fail the same attempts in the same way regardless
+// of worker scheduling.
+type FaultConfig struct {
+	// Seed drives all fault decisions.
+	Seed int64
+	// TransientRate is the per-attempt probability of a retryable
+	// failure (e.g. 0.3 for the 30%-flaky synthetic web).
+	TransientRate float64
+	// PermanentRate is the per-page probability that a (domain, path)
+	// is permanently broken: every attempt fails with a Permanent error.
+	PermanentRate float64
+	// MaxTransientPerPage caps the consecutive injected transient
+	// failures for one page (0 = uncapped). Setting it below the
+	// crawler's retry budget guarantees eventual recovery.
+	MaxTransientPerPage int
+	// LatencySpike, when positive, adds that much latency to SpikeRate
+	// of the attempts (deterministically chosen).
+	LatencySpike time.Duration
+	// SpikeRate is the per-attempt probability of a latency spike.
+	SpikeRate float64
+}
+
+// FaultStats counts what the injector actually did.
+type FaultStats struct {
+	Attempts  int64
+	Transient int64
+	Permanent int64
+	Spikes    int64
+}
+
+// FaultInjector wraps a Fetcher with seeded transient/permanent
+// failures and latency spikes — the flaky-world harness used by tests
+// and examples to exercise the crawler's retry, backoff and circuit-
+// breaker machinery.
+type FaultInjector struct {
+	inner Fetcher
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	attempts map[string]int // per domain|path attempt counter
+
+	attemptsN, transientN, permanentN, spikesN atomic.Int64
+}
+
+// NewFaultInjector wraps inner with the given fault model.
+func NewFaultInjector(inner Fetcher, cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{inner: inner, cfg: cfg, attempts: make(map[string]int)}
+}
+
+// Fetch implements Fetcher, injecting faults ahead of the wrapped
+// fetcher.
+func (fi *FaultInjector) Fetch(domain, path string) (string, error) {
+	key := domain + "|" + path
+	fi.mu.Lock()
+	n := fi.attempts[key] // 0-based attempt index for this page
+	fi.attempts[key] = n + 1
+	fi.mu.Unlock()
+	fi.attemptsN.Add(1)
+
+	attempt := fmt.Sprint(n)
+	if fi.cfg.LatencySpike > 0 && fi.cfg.SpikeRate > 0 &&
+		hashDraw(fi.cfg.Seed, "spike", key, attempt) < fi.cfg.SpikeRate {
+		fi.spikesN.Add(1)
+		time.Sleep(fi.cfg.LatencySpike)
+	}
+	if fi.cfg.PermanentRate > 0 && hashDraw(fi.cfg.Seed, "permanent", key) < fi.cfg.PermanentRate {
+		fi.permanentN.Add(1)
+		return "", Permanent(fmt.Errorf("fault: %s%s is permanently broken", domain, path))
+	}
+	if fi.cfg.TransientRate > 0 &&
+		(fi.cfg.MaxTransientPerPage == 0 || n < fi.cfg.MaxTransientPerPage) &&
+		hashDraw(fi.cfg.Seed, "transient", key, attempt) < fi.cfg.TransientRate {
+		fi.transientN.Add(1)
+		return "", fmt.Errorf("fault: transient failure for %s%s (attempt %d)", domain, path, n+1)
+	}
+	return fi.inner.Fetch(domain, path)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (fi *FaultInjector) Stats() FaultStats {
+	return FaultStats{
+		Attempts:  fi.attemptsN.Load(),
+		Transient: fi.transientN.Load(),
+		Permanent: fi.permanentN.Load(),
+		Spikes:    fi.spikesN.Load(),
+	}
+}
+
+var _ Fetcher = (*FaultInjector)(nil)

@@ -1,0 +1,143 @@
+package crawler
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pharmaverify/internal/webgen"
+)
+
+// faultWorld builds a small synthetic web shared by the fault tests.
+func faultWorld() *webgen.World {
+	return webgen.Generate(webgen.Config{Seed: 7, NumLegit: 4, NumIllegit: 8, NetworkSize: 4})
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	w := faultWorld()
+	cfg := FaultConfig{Seed: 99, TransientRate: 0.3}
+	d := w.Domains()[0]
+	probe := func() []bool {
+		fi := NewFaultInjector(w, cfg)
+		var outcomes []bool
+		for attempt := 0; attempt < 4; attempt++ {
+			for _, p := range w.Site(d).Paths {
+				_, err := fi.Fetch(d, p)
+				outcomes = append(outcomes, err == nil)
+			}
+		}
+		return outcomes
+	}
+	if a, b := probe(), probe(); !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different fault patterns")
+	}
+	diff := NewFaultInjector(w, FaultConfig{Seed: 100, TransientRate: 0.3})
+	same := true
+	fi := NewFaultInjector(w, cfg)
+	for _, p := range w.Site(d).Paths {
+		_, e1 := fi.Fetch(d, p)
+		_, e2 := diff.Fetch(d, p)
+		if (e1 == nil) != (e2 == nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("different seeds happened to agree on this small sample (not fatal)")
+	}
+}
+
+// TestCrawlRecoversFromTransientFaults is the acceptance test of the
+// resilient crawl engine: with seeded 30% transient fetch failures and
+// retries enabled, the crawl recovers ≥99% of what a clean crawl
+// yields, stays within the retry budget, and keeps its counters
+// reconciled.
+func TestCrawlRecoversFromTransientFaults(t *testing.T) {
+	w := faultWorld()
+	const maxAttempts = 6
+	cleanPages, faultyPages := 0, 0
+	for _, d := range w.Domains() {
+		clean := Crawl(w, d, Config{})
+		flaky := NewFaultInjector(w, FaultConfig{Seed: 99, TransientRate: 0.3})
+		faulty := Crawl(flaky, d, Config{
+			Retry: RetryConfig{MaxAttempts: maxAttempts, BaseDelay: time.Microsecond, Seed: 99},
+		})
+
+		cleanSet := map[string]bool{}
+		for _, p := range clean.Pages {
+			cleanSet[p.Path] = true
+		}
+		for _, p := range faulty.Pages {
+			if !cleanSet[p.Path] {
+				t.Errorf("%s: faulty crawl found %s, absent from clean crawl", d, p.Path)
+			}
+		}
+		cleanPages += len(clean.Pages)
+		faultyPages += len(faulty.Pages)
+
+		st := faulty.Stats
+		if st.Attempts != st.Successes+st.Failures {
+			t.Errorf("%s: attempts(%d) != successes(%d)+failures(%d)", d, st.Attempts, st.Successes, st.Failures)
+		}
+		if faulty.Fetched != st.Attempts || faulty.Failed != st.Failures {
+			t.Errorf("%s: Result counters diverge from Stats: %+v vs fetched=%d failed=%d",
+				d, st, faulty.Fetched, faulty.Failed)
+		}
+		if cap := DefaultMaxPages * maxAttempts; st.Attempts > cap {
+			t.Errorf("%s: %d attempts exceed MaxPages×MaxAttempts = %d", d, st.Attempts, cap)
+		}
+		if st.Retries == 0 {
+			t.Errorf("%s: no retries recorded under 30%% transient faults", d)
+		}
+	}
+	if float64(faultyPages) < 0.99*float64(cleanPages) {
+		t.Errorf("recovered %d/%d pages (<99%%) under 30%% transient faults", faultyPages, cleanPages)
+	}
+}
+
+func TestCrawlRecoveryDeterministicUnderFaults(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[1]
+	run := func() Result {
+		flaky := NewFaultInjector(w, FaultConfig{Seed: 5, TransientRate: 0.3})
+		return Crawl(flaky, d, Config{Workers: 8, Retry: RetryConfig{MaxAttempts: 6}})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Pages, b.Pages) || !reflect.DeepEqual(a.External, b.External) {
+		t.Error("faulty crawl output is not reproducible for a fixed fault seed")
+	}
+}
+
+func TestCrawlPermanentFaultsDegradeGracefully(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[2]
+	flaky := NewFaultInjector(w, FaultConfig{Seed: 3, PermanentRate: 0.2})
+	r := Crawl(flaky, d, Config{Retry: RetryConfig{MaxAttempts: 4}})
+	st := flaky.Stats()
+	if st.Permanent > 0 && r.Stats.Retries != 0 {
+		t.Errorf("permanently broken pages were retried: %+v", r.Stats)
+	}
+	if len(r.Pages) == 0 {
+		t.Error("crawl collected nothing despite most pages being healthy")
+	}
+	if r.Stats.PagesFailed == 0 && st.Permanent > 0 {
+		t.Errorf("injected %d permanent faults but PagesFailed = 0", st.Permanent)
+	}
+}
+
+func TestCrawlAllAggregateStats(t *testing.T) {
+	w := faultWorld()
+	flaky := NewFaultInjector(w, FaultConfig{Seed: 42, TransientRate: 0.3})
+	results := CrawlAll(flaky, w.Domains(), Config{Retry: RetryConfig{MaxAttempts: 6}}, 4)
+	total := AggregateStats(results)
+	if total.Attempts != total.Successes+total.Failures {
+		t.Errorf("aggregate stats do not reconcile: %+v", total)
+	}
+	inj := flaky.Stats()
+	if int64(total.Attempts+total.RobotsAttempts) != inj.Attempts {
+		t.Errorf("crawler counted %d attempts (pages+robots), injector saw %d",
+			total.Attempts+total.RobotsAttempts, inj.Attempts)
+	}
+	if total.Retries == 0 || total.Bytes == 0 {
+		t.Errorf("aggregate telemetry looks empty: %+v", total)
+	}
+}

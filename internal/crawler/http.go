@@ -50,11 +50,21 @@ func (h *HTTPFetcher) Fetch(domain, path string) (string, error) {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
+		// Network-level failures (DNS, refused, timeouts) are left
+		// unmarked, i.e. transient: the crawler retries them under its
+		// Retry budget.
 		return "", fmt.Errorf("crawler: fetch %s%s: %w", domain, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("crawler: fetch %s%s: status %d", domain, path, resp.StatusCode)
+		err := fmt.Errorf("crawler: fetch %s%s: status %d", domain, path, resp.StatusCode)
+		// Client errors are final — the page will not appear on retry —
+		// except 429 (rate limited), which backoff is made for. Server
+		// errors (5xx) stay transient.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return "", Permanent(err)
+		}
+		return "", err
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	if err != nil {

@@ -1,0 +1,151 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig controls per-request retries with exponential backoff.
+// The zero value means a single attempt per request (no retries), which
+// preserves the historical crawler behavior; live crawls should enable
+// retries so transient network failures are not recorded as missing
+// pages.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per request, including
+	// the first (default 1; 4–6 is sensible for live crawls).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt multiplies it by Multiplier, capped at MaxDelay. Zero
+	// disables backoff sleeps (retries fire immediately), which keeps
+	// synthetic-web tests fast and deterministic.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 5s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff uniformly within ±Jitter fraction of
+	// its nominal value (default 0.2; negative disables). The jitter is
+	// a pure function of (Seed, domain, path, attempt), so crawls are
+	// reproducible.
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 1
+	}
+	if r.Multiplier <= 0 {
+		r.Multiplier = 2
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 5 * time.Second
+	}
+	if r.Jitter == 0 {
+		r.Jitter = 0.2
+	} else if r.Jitter < 0 {
+		r.Jitter = 0
+	}
+	return r
+}
+
+// backoff returns the sleep before attempt+1 (attempt counts completed
+// tries, so the first retry passes attempt=1).
+func (r RetryConfig) backoff(domain, path string, attempt int) time.Duration {
+	if r.BaseDelay <= 0 {
+		return 0
+	}
+	d := float64(r.BaseDelay) * math.Pow(r.Multiplier, float64(attempt-1))
+	if d > float64(r.MaxDelay) {
+		d = float64(r.MaxDelay)
+	}
+	if r.Jitter > 0 {
+		u := hashDraw(r.Seed, "backoff", domain, path, fmt.Sprint(attempt))
+		d *= 1 + r.Jitter*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// hashDraw is a deterministic uniform draw in [0,1) keyed by the seed
+// and the given strings, independent of goroutine scheduling.
+func hashDraw(seed int64, parts ...string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{'|'})
+		h.Write([]byte(p))
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+}
+
+// permanenter marks errors that must not be retried. Any error in the
+// Unwrap chain exposing Permanent() bool participates, so fetchers in
+// other packages (e.g. webgen's unknown-page errors) can classify their
+// failures without importing this package.
+type permanenter interface{ Permanent() bool }
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string   { return e.err.Error() }
+func (e *permanentError) Unwrap() error   { return e.err }
+func (e *permanentError) Permanent() bool { return true }
+
+// Permanent marks err as a hard failure the crawler must not retry
+// (e.g. HTTP 404). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) is marked
+// permanent. Unmarked errors are treated as transient and retried when
+// a retry budget is configured.
+func IsPermanent(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if p, ok := e.(permanenter); ok {
+			return p.Permanent()
+		}
+	}
+	return false
+}
+
+// ErrFetchTimeout is the (transient) error recorded when a fetch
+// attempt exceeds Config.FetchTimeout.
+var ErrFetchTimeout = errors.New("crawler: fetch attempt timed out")
+
+// fetchWithTimeout runs one Fetch, bounding it by timeout when positive.
+// A timed-out fetch keeps running in its goroutine until the underlying
+// fetcher returns (the Fetcher interface carries no context), but its
+// result is discarded.
+func fetchWithTimeout(f Fetcher, domain, path string, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		return f.Fetch(domain, path)
+	}
+	type result struct {
+		html string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		html, err := f.Fetch(domain, path)
+		ch <- result{html, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.html, r.err
+	case <-timer.C:
+		return "", fmt.Errorf("%w: %s%s after %v", ErrFetchTimeout, domain, path, timeout)
+	}
+}

@@ -1,0 +1,63 @@
+package crawler
+
+// Stats is the crawl telemetry for one domain (or, aggregated, for a
+// whole snapshot build). The page-fetch counters reconcile exactly:
+//
+//	Attempts = Successes + Failures
+//	Retries  = Attempts − (pages tried at least once)
+//
+// Robots.txt traffic is tracked separately so the page counters stay
+// comparable to MaxPages.
+type Stats struct {
+	// Attempts counts page fetch attempts, including retries.
+	Attempts int `json:"attempts"`
+	// Retries counts attempts beyond the first per page.
+	Retries int `json:"retries"`
+	// Successes counts attempts that returned a document.
+	Successes int `json:"successes"`
+	// Failures counts attempts that returned an error.
+	Failures int `json:"failures"`
+	// PagesFailed counts pages lost for good: a permanent error or an
+	// exhausted retry budget.
+	PagesFailed int `json:"pagesFailed"`
+	// Timeouts counts attempts cut off by Config.FetchTimeout.
+	Timeouts int `json:"timeouts"`
+	// Bytes sums the HTML bytes of successful fetches.
+	Bytes int64 `json:"bytes"`
+	// BreakerTrips is 1 when this domain's failure budget was exhausted
+	// and the crawl degraded to the pages collected so far (aggregated:
+	// the number of domains that tripped).
+	BreakerTrips int `json:"breakerTrips"`
+	// RobotsAttempts and RobotsFailures count /robots.txt traffic.
+	RobotsAttempts int `json:"robotsAttempts"`
+	RobotsFailures int `json:"robotsFailures"`
+	// RobotsUnreachable records that /robots.txt kept failing
+	// transiently even after retries, so the crawl proceeded as if the
+	// file were absent (allow-all). A permanent 404 does NOT set this —
+	// a missing robots.txt legitimately allows everything.
+	RobotsUnreachable bool `json:"robotsUnreachable,omitempty"`
+}
+
+// Add accumulates another domain's stats into s.
+func (s *Stats) Add(o Stats) {
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Successes += o.Successes
+	s.Failures += o.Failures
+	s.PagesFailed += o.PagesFailed
+	s.Timeouts += o.Timeouts
+	s.Bytes += o.Bytes
+	s.BreakerTrips += o.BreakerTrips
+	s.RobotsAttempts += o.RobotsAttempts
+	s.RobotsFailures += o.RobotsFailures
+	s.RobotsUnreachable = s.RobotsUnreachable || o.RobotsUnreachable
+}
+
+// AggregateStats sums the telemetry of a CrawlAll result set.
+func AggregateStats(results map[string]Result) Stats {
+	var total Stats
+	for _, r := range results {
+		total.Add(r.Stats)
+	}
+	return total
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/ml"
@@ -53,6 +54,14 @@ type Snapshot struct {
 	Name       string     `json:"name"`
 	Pharmacies []Pharmacy `json:"pharmacies"`
 	Aux        []AuxSite  `json:"aux,omitempty"`
+	// CrawlStats aggregates the crawl telemetry of the snapshot build
+	// (pharmacies plus auxiliary sites): attempts, retries, failures,
+	// breaker trips, bytes. Nil for snapshots saved by older versions
+	// or assembled by hand.
+	CrawlStats *crawler.Stats `json:"crawlStats,omitempty"`
+
+	outboundOnce sync.Once
+	outboundMap  map[string][]string
 }
 
 // Build crawls every domain through the fetcher, preprocesses the text
@@ -72,6 +81,7 @@ func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[s
 	}
 	results := crawler.CrawlAll(f, domains, cfg, parallel)
 	pre := textproc.NewPreprocessor()
+	stats := crawler.AggregateStats(results)
 
 	snap := &Snapshot{Name: name}
 	for _, d := range domains {
@@ -91,6 +101,8 @@ func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[s
 
 	if len(auxDomains) > 0 {
 		auxResults := crawler.CrawlAll(f, auxDomains, cfg, parallel)
+		auxStats := crawler.AggregateStats(auxResults)
+		stats.Add(auxStats)
 		for _, d := range auxDomains {
 			r := auxResults[d]
 			snap.Aux = append(snap.Aux, AuxSite{
@@ -101,6 +113,7 @@ func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[s
 		}
 		sort.Slice(snap.Aux, func(i, j int) bool { return snap.Aux[i].Domain < snap.Aux[j].Domain })
 	}
+	snap.CrawlStats = &stats
 	return snap, nil
 }
 
@@ -148,13 +161,18 @@ func (s *Snapshot) Domains() []string {
 }
 
 // Outbound returns domain → outbound endpoints, the input of the
-// network graph construction.
+// network graph construction. The map is memoized and shared between
+// callers: treat it as read-only (copy before merging anything into
+// it), and do not mutate Pharmacies after the first call.
 func (s *Snapshot) Outbound() map[string][]string {
-	m := make(map[string][]string, len(s.Pharmacies))
-	for _, p := range s.Pharmacies {
-		m[p.Domain] = p.Outbound
-	}
-	return m
+	s.outboundOnce.Do(func() {
+		m := make(map[string][]string, len(s.Pharmacies))
+		for _, p := range s.Pharmacies {
+			m[p.Domain] = p.Outbound
+		}
+		s.outboundMap = m
+	})
+	return s.outboundMap
 }
 
 // SubsampledTerms returns each pharmacy's terms randomly subsampled to

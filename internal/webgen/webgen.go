@@ -236,19 +236,27 @@ func (w *World) Domains() []string { return append([]string(nil), w.domains...) 
 // Site returns the site for a domain, or nil.
 func (w *World) Site(domain string) *Site { return w.sites[domain] }
 
+// notFoundError marks unknown domains/pages as permanent failures (via
+// the Permanent() contract of internal/crawler), so a retrying crawler
+// does not burn its retry budget on pages that can never exist.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string   { return e.msg }
+func (e *notFoundError) Permanent() bool { return true }
+
 // Fetch returns the HTML of a page, satisfying the crawler Fetcher
-// contract. Unknown domains or paths yield an error.
+// contract. Unknown domains or paths yield a permanent error.
 func (w *World) Fetch(domain, path string) (string, error) {
 	s, ok := w.sites[domain]
 	if !ok {
-		return "", fmt.Errorf("webgen: unknown domain %q", domain)
+		return "", &notFoundError{msg: fmt.Sprintf("webgen: unknown domain %q", domain)}
 	}
 	if path == "" {
 		path = "/"
 	}
 	html, ok := s.Pages[path]
 	if !ok {
-		return "", fmt.Errorf("webgen: %s has no page %q", domain, path)
+		return "", &notFoundError{msg: fmt.Sprintf("webgen: %s has no page %q", domain, path)}
 	}
 	return html, nil
 }

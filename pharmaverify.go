@@ -85,9 +85,27 @@ type (
 	// crawler.HTTPFetcher provides a live-HTTP implementation.
 	Fetcher = crawler.Fetcher
 	// CrawlConfig bounds per-domain crawls (200 pages by default, as in
-	// the paper).
+	// the paper) and configures the resilience machinery: retry budget,
+	// backoff, fetch timeout and the per-domain failure budget.
 	CrawlConfig = crawler.Config
+	// RetryConfig controls per-request retries with exponential backoff
+	// and deterministic jitter.
+	RetryConfig = crawler.RetryConfig
+	// CrawlStats is the crawl telemetry of a snapshot build (attempts,
+	// retries, failures, breaker trips, bytes); see Snapshot.CrawlStats
+	// and Verifier.TrainingCrawlStats.
+	CrawlStats = crawler.Stats
+	// FaultConfig seeds the deterministic fault-injection fetcher.
+	FaultConfig = crawler.FaultConfig
+	// FaultInjector wraps any Fetcher with seeded transient/permanent
+	// failures and latency spikes, for resilience testing.
+	FaultInjector = crawler.FaultInjector
 )
+
+// NewFaultInjector wraps a fetcher with deterministic fault injection.
+func NewFaultInjector(inner Fetcher, cfg FaultConfig) *FaultInjector {
+	return crawler.NewFaultInjector(inner, cfg)
+}
 
 // Train builds a Verifier from a labeled snapshot.
 func Train(snap *Snapshot, opts Options) (*Verifier, error) {
