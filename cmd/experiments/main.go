@@ -8,16 +8,20 @@
 //	experiments -table 6             # one table
 //	experiments -figure 2            # one figure (same as -table F2)
 //	experiments -list                # list available artifacts
+//	experiments -workers 4 -all      # cap the evaluation worker pool
+//	experiments -bench-json out.json # sequential-vs-parallel benchmark
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pharmaverify/internal/bench"
 	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/parallel"
 )
 
 func main() {
@@ -28,8 +32,14 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate every artifact")
 		list      = flag.Bool("list", false, "list available artifacts")
 		format    = flag.String("format", "text", "output format: text or markdown")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
+		benchJSON = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetDefault(*workers)
+	}
 
 	if *list {
 		for _, r := range bench.Runners {
@@ -53,7 +63,7 @@ func main() {
 	if *figure != "" {
 		id = "F" + *figure
 	}
-	if id == "" && !*all {
+	if id == "" && !*all && *benchJSON == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +85,35 @@ func main() {
 		}
 	}
 	fmt.Println()
+
+	if *benchJSON != "" {
+		var ids []string
+		if id != "" {
+			ids = strings.Split(id, ",")
+		}
+		rep, err := bench.RunBenchmark(env, ids, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		out := os.Stdout
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmark: %d artifacts, total %v sequential vs %v parallel (%.2fx, workers=%d, identical=%v)\n",
+			len(rep.Entries),
+			time.Duration(rep.TotalSequentialNS).Round(time.Millisecond),
+			time.Duration(rep.TotalParallelNS).Round(time.Millisecond),
+			rep.TotalSpeedup, rep.Workers, rep.AllIdentical)
+		return
+	}
 
 	run := func(r bench.Runner) {
 		t0 := time.Now()

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"pharmaverify/internal/arff"
 	"pharmaverify/internal/core"
@@ -29,35 +30,48 @@ import (
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 	"pharmaverify/internal/vectorize"
 	"pharmaverify/internal/webgen"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	// Global -workers flag (before the subcommand): bounds the
+	// evaluation worker pool. Results do not depend on the value.
+	if len(args) >= 2 && args[0] == "-workers" {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "pharmaverify: -workers wants a positive integer, got %q\n", args[1])
+			os.Exit(2)
+		}
+		parallel.SetDefault(n)
+		args = args[2:]
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "generate":
-		err = cmdGenerate(os.Args[2:])
+		err = cmdGenerate(args[1:])
 	case "classify":
-		err = cmdClassify(os.Args[2:])
+		err = cmdClassify(args[1:])
 	case "rank":
-		err = cmdRank(os.Args[2:])
+		err = cmdRank(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		err = cmdExport(args[1:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(args[1:])
 	case "inspect":
-		err = cmdInspect(os.Args[2:])
+		err = cmdInspect(args[1:])
 	case "-h", "--help", "help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "pharmaverify: unknown subcommand %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "pharmaverify: unknown subcommand %q\n", args[0])
 		usage()
 		os.Exit(2)
 	}
@@ -68,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pharmaverify <generate|classify|rank|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] <generate|classify|rank|stats> [flags]
   generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
             [-retries N] [-failure-budget N] [-flaky RATE]   (resilient-crawl knobs)
   train     -in FILE -out MODEL.json [-classifier SVM] [-terms N]

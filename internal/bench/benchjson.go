@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/parallel"
+)
+
+// benchEpoch anchors the monotonic clock reads.
+var benchEpoch = time.Now()
+
+func monotonicNS() int64 { return int64(time.Since(benchEpoch)) }
+
+// BenchEntry records the sequential-vs-parallel measurement of one
+// artifact runner.
+type BenchEntry struct {
+	ID   string `json:"id"`
+	Desc string `json:"desc"`
+	// SequentialNS / ParallelNS are wall-clock times of the Workers=1
+	// and Workers=N legs, in nanoseconds.
+	SequentialNS int64 `json:"sequential_ns"`
+	ParallelNS   int64 `json:"parallel_ns"`
+	// SequentialAllocs / ParallelAllocs are heap allocation counts
+	// (runtime.MemStats.Mallocs deltas) for each leg. They are
+	// process-wide deltas, so background allocation adds noise; the
+	// harness runs legs back-to-back in one goroutine to keep the
+	// numbers comparable.
+	SequentialAllocs uint64 `json:"sequential_allocs"`
+	ParallelAllocs   uint64 `json:"parallel_allocs"`
+	// SequentialBytes / ParallelBytes are TotalAlloc deltas.
+	SequentialBytes uint64 `json:"sequential_bytes"`
+	ParallelBytes   uint64 `json:"parallel_bytes"`
+	// Speedup is SequentialNS / ParallelNS.
+	Speedup float64 `json:"speedup"`
+	// Identical is the determinism check: true when the rendered table
+	// bytes of the parallel leg equal the sequential leg's exactly.
+	Identical bool `json:"identical"`
+}
+
+// BenchReport is the machine-readable benchmark artifact emitted by
+// `experiments -bench-json` (BENCH_evaluation.json).
+type BenchReport struct {
+	Scale      string       `json:"scale"`
+	Seed       int64        `json:"seed"`
+	Workers    int          `json:"workers"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Entries    []BenchEntry `json:"entries"`
+	// Totals across all measured entries.
+	TotalSequentialNS int64   `json:"total_sequential_ns"`
+	TotalParallelNS   int64   `json:"total_parallel_ns"`
+	TotalSpeedup      float64 `json:"total_speedup"`
+	// AllIdentical is true when every entry's parallel output matched
+	// its sequential output byte for byte.
+	AllIdentical bool `json:"all_identical"`
+}
+
+// nowNS is the monotonic clock used by the harness; a variable so tests
+// can stub it.
+var nowNS = monotonicNS
+
+// benchLeg runs one runner once with the given process-wide default
+// worker count on a fresh result cache, returning the rendered table
+// bytes, wall time, and allocation deltas.
+func benchLeg(base *Env, r Runner, workers int) (out []byte, ns int64, mallocs, bytesAlloc uint64, err error) {
+	// Fresh caches so the leg measures real work, not memo hits; the
+	// shared feature cache is cleared too since both legs would
+	// otherwise reuse each other's featurizations.
+	e := base.Fresh()
+	core.ResetFeatureCache()
+
+	prev := parallel.Default()
+	parallel.SetDefault(workers)
+	defer parallel.SetDefault(prev)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := nowNS()
+	tab, err := r.Run(e)
+	ns = nowNS() - start
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("%s: %w", r.ID, err)
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return buf.Bytes(), ns, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+// RunBenchmark measures every listed runner twice — once with the
+// worker pool forced to 1 (the sequential baseline) and once with the
+// given parallel worker count — and reports wall time, allocations,
+// speedup, and whether the two rendered outputs are byte-identical.
+// ids selects runner IDs; nil means every runner in the registry.
+// workers <= 0 uses GOMAXPROCS for the parallel leg.
+func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var runners []Runner
+	if ids == nil {
+		runners = Runners
+	} else {
+		for _, id := range ids {
+			r := FindRunner(id)
+			if r == nil {
+				return nil, fmt.Errorf("bench: unknown artifact %q", id)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	rep := &BenchReport{
+		Scale:        e.Scale.Name,
+		Seed:         e.Scale.Seed,
+		Workers:      workers,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		AllIdentical: true,
+	}
+	for _, r := range runners {
+		seqOut, seqNS, seqAllocs, seqBytes, err := benchLeg(e, r, 1)
+		if err != nil {
+			return nil, err
+		}
+		parOut, parNS, parAllocs, parBytes, err := benchLeg(e, r, workers)
+		if err != nil {
+			return nil, err
+		}
+		entry := BenchEntry{
+			ID:               r.ID,
+			Desc:             r.Desc,
+			SequentialNS:     seqNS,
+			ParallelNS:       parNS,
+			SequentialAllocs: seqAllocs,
+			ParallelAllocs:   parAllocs,
+			SequentialBytes:  seqBytes,
+			ParallelBytes:    parBytes,
+			Identical:        bytes.Equal(seqOut, parOut),
+		}
+		if parNS > 0 {
+			entry.Speedup = float64(seqNS) / float64(parNS)
+		}
+		rep.Entries = append(rep.Entries, entry)
+		rep.TotalSequentialNS += seqNS
+		rep.TotalParallelNS += parNS
+		if !entry.Identical {
+			rep.AllIdentical = false
+		}
+	}
+	if rep.TotalParallelNS > 0 {
+		rep.TotalSpeedup = float64(rep.TotalSequentialNS) / float64(rep.TotalParallelNS)
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

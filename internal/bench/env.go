@@ -17,6 +17,7 @@ import (
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/eval"
+	"pharmaverify/internal/featcache"
 	"pharmaverify/internal/webgen"
 )
 
@@ -59,6 +60,9 @@ var SmallScale = Scale{
 }
 
 // Env carries the generated snapshots and memoized experiment results.
+// The result caches deduplicate concurrent computations of the same
+// cell (singleflight), so the parallel table sweeps never run one
+// configuration twice.
 type Env struct {
 	Scale Scale
 	// World1/World2 are the synthetic webs; Snap1/Snap2 the crawled,
@@ -66,10 +70,14 @@ type Env struct {
 	World1, World2 *webgen.World
 	Snap1, Snap2   *dataset.Snapshot
 
-	mu        sync.Mutex
-	textCache map[string]eval.CVResult
-	netCache  map[string]eval.CVResult
+	results *featcache.Cache
 }
+
+// resultCacheSize bounds an Env's memoized CV results: every text cell
+// of the sweep (2 representations × 5 classifiers × 3 samplings ×
+// 5 term sizes), the network variants and the drift cells fit with
+// ample headroom.
+const resultCacheSize = 512
 
 var (
 	envMu    sync.Mutex
@@ -114,8 +122,7 @@ func NewEnv(s Scale) (*Env, error) {
 		Scale:  s,
 		World1: w1, World2: w2,
 		Snap1: snap1, Snap2: snap2,
-		textCache: map[string]eval.CVResult{},
-		netCache:  map[string]eval.CVResult{},
+		results: featcache.New(resultCacheSize),
 	}
 	envCache[key] = e
 	return e, nil
@@ -129,52 +136,42 @@ func (e *Env) Fresh() *Env {
 		Scale:  e.Scale,
 		World1: e.World1, World2: e.World2,
 		Snap1: e.Snap1, Snap2: e.Snap2,
-		textCache: map[string]eval.CVResult{},
-		netCache:  map[string]eval.CVResult{},
+		results: featcache.New(resultCacheSize),
 	}
+}
+
+// cvResult memoizes one CV computation under key with singleflight
+// semantics.
+func (e *Env) cvResult(key string, run func() (eval.CVResult, error)) (eval.CVResult, error) {
+	v, err := e.results.Do(key, func() (any, error) {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	})
+	if err != nil {
+		return eval.CVResult{}, err
+	}
+	return v.(eval.CVResult), nil
 }
 
 // TextResult memoizes core.TextCV runs on Dataset 1.
 func (e *Env) TextResult(rep core.Representation, clf core.ClassifierKind, smp core.SamplingKind, terms int) (eval.CVResult, error) {
 	key := fmt.Sprintf("t|%s|%s|%s|%d", rep, clf, smp, terms)
-	e.mu.Lock()
-	if r, ok := e.textCache[key]; ok {
-		e.mu.Unlock()
-		return r, nil
-	}
-	e.mu.Unlock()
-
-	r, err := core.TextCV(e.Snap1, core.TextConfig{
-		Representation: rep, Classifier: clf, Sampling: smp,
-		Terms: terms, Seed: e.Scale.Seed,
+	return e.cvResult(key, func() (eval.CVResult, error) {
+		return core.TextCV(e.Snap1, core.TextConfig{
+			Representation: rep, Classifier: clf, Sampling: smp,
+			Terms: terms, Seed: e.Scale.Seed,
+		})
 	})
-	if err != nil {
-		return eval.CVResult{}, err
-	}
-	e.mu.Lock()
-	e.textCache[key] = r
-	e.mu.Unlock()
-	return r, nil
 }
 
 // NetworkResult memoizes core.NetworkCV runs on Dataset 1.
 func (e *Env) NetworkResult(variant core.NetworkVariant) (eval.CVResult, error) {
-	key := string(variant)
-	e.mu.Lock()
-	if r, ok := e.netCache[key]; ok {
-		e.mu.Unlock()
-		return r, nil
-	}
-	e.mu.Unlock()
-
-	r, err := core.NetworkCV(e.Snap1, core.NetworkConfig{
-		Variant: variant, Seed: e.Scale.Seed,
+	return e.cvResult("n|"+string(variant), func() (eval.CVResult, error) {
+		return core.NetworkCV(e.Snap1, core.NetworkConfig{
+			Variant: variant, Seed: e.Scale.Seed,
+		})
 	})
-	if err != nil {
-		return eval.CVResult{}, err
-	}
-	e.mu.Lock()
-	e.netCache[key] = r
-	e.mu.Unlock()
-	return r, nil
 }

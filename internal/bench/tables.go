@@ -6,6 +6,7 @@ import (
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 	"pharmaverify/internal/trust"
 )
 
@@ -80,11 +81,40 @@ func Table2(e *Env) (*Table, error) {
 	return t, nil
 }
 
-// textSweep fills one metric across classifiers × term sizes.
-func (e *Env) textSweep(t *Table, rep core.Representation, rows []struct {
+// textRow is one (classifier, sampling) row of a sweep table.
+type textRow = struct {
 	Clf core.ClassifierKind
 	Smp core.SamplingKind
-}, metric eval.Metric) error {
+}
+
+// prewarmText evaluates every (classifier, sampling) × term-size cell
+// of a sweep concurrently. Cells are independent given the shared
+// snapshot, and the Env memo deduplicates them (singleflight), so the
+// sequential table fill afterwards is pure cache hits and the rendered
+// rows are identical to a sequential sweep.
+func (e *Env) prewarmText(rep core.Representation, rows []textRow, sizes []int) error {
+	type cell struct {
+		row textRow
+		k   int
+	}
+	cells := make([]cell, 0, len(rows)*len(sizes))
+	for _, r := range rows {
+		for _, k := range sizes {
+			cells = append(cells, cell{row: r, k: k})
+		}
+	}
+	_, err := parallel.MapErr(len(cells), 0, func(i int) (struct{}, error) {
+		_, err := e.TextResult(rep, cells[i].row.Clf, cells[i].row.Smp, cells[i].k)
+		return struct{}{}, err
+	})
+	return err
+}
+
+// textSweep fills one metric across classifiers × term sizes.
+func (e *Env) textSweep(t *Table, rep core.Representation, rows []textRow, metric eval.Metric) error {
+	if err := e.prewarmText(rep, rows, e.Scale.TermSizes); err != nil {
+		return err
+	}
 	for _, r := range rows {
 		cells := []string{string(r.Clf), string(r.Smp)}
 		for _, k := range e.Scale.TermSizes {
@@ -119,15 +149,15 @@ func Table3(e *Env) (*Table, error) {
 }
 
 // prTable builds a recall+precision table for one class.
-func (e *Env) prTable(id, title string, rep core.Representation, rows []struct {
-	Clf core.ClassifierKind
-	Smp core.SamplingKind
-}, recall, precision eval.Metric, notes ...string) (*Table, error) {
+func (e *Env) prTable(id, title string, rep core.Representation, rows []textRow, recall, precision eval.Metric, notes ...string) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		Header: e.termHeader("metric", "clf", "smp"),
 		Notes:  notes,
+	}
+	if err := e.prewarmText(rep, rows, e.Scale.TermSizes); err != nil {
+		return nil, err
 	}
 	for _, r := range rows {
 		cells := []string{"Recall", string(r.Clf), string(r.Smp)}
@@ -179,14 +209,8 @@ func Table6(e *Env) (*Table, error) {
 	return t, e.textSweep(t, core.TFIDF, tfidfRows, eval.MetricAUC)
 }
 
-func nggRowSpecs() []struct {
-	Clf core.ClassifierKind
-	Smp core.SamplingKind
-} {
-	rows := make([]struct {
-		Clf core.ClassifierKind
-		Smp core.SamplingKind
-	}, len(nggRows))
+func nggRowSpecs() []textRow {
+	rows := make([]textRow, len(nggRows))
 	for i, c := range nggRows {
 		rows[i].Clf = c
 		rows[i].Smp = core.NoSampling
@@ -386,10 +410,7 @@ func Table15(e *Env) (*Table, error) {
 }
 
 // driftSpecs lists the classifier rows of Tables 16/17.
-var driftSpecs = []struct {
-	Clf core.ClassifierKind
-	Smp core.SamplingKind
-}{
+var driftSpecs = []textRow{
 	{core.NBM, core.NoSampling},
 	{core.SVM, core.NoSampling},
 	{core.J48, core.SMOTE},
@@ -419,17 +440,33 @@ func driftTable(e *Env, id, title string, pick func(core.DriftResult, core.Drift
 	}
 	t := &Table{ID: id, Title: title, Header: header, Notes: notes}
 
+	// Every (classifier, term-size) drift study is independent, so the
+	// grid fans out; rows render sequentially from the ordered results.
+	type job struct {
+		spec textRow
+		k    int
+	}
+	jobs := make([]job, 0, len(driftSpecs)*len(sizes))
 	for _, spec := range driftSpecs {
+		for _, k := range sizes {
+			jobs = append(jobs, job{spec: spec, k: k})
+		}
+	}
+	res, err := parallel.MapErr(len(jobs), 0, func(i int) (core.DriftResult, error) {
+		j := jobs[i]
+		return core.DriftStudy(e.Snap1, e.Snap2, core.TextConfig{
+			Classifier: j.spec.Clf, Sampling: j.spec.Smp, Terms: j.k, Seed: e.Scale.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for s, spec := range driftSpecs {
 		cells := []string{string(spec.Clf), string(spec.Smp)}
 		results := map[int]core.DriftResult{}
-		for _, k := range sizes {
-			r, err := core.DriftStudy(e.Snap1, e.Snap2, core.TextConfig{
-				Classifier: spec.Clf, Sampling: spec.Smp, Terms: k, Seed: e.Scale.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			results[k] = r
+		for j, k := range sizes {
+			results[k] = res[s*len(sizes)+j]
 		}
 		for _, cell := range []core.DriftCell{core.OldOld, core.NewNew, core.OldNew} {
 			for _, k := range sizes {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"pharmaverify/internal/eval"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ml/ensemble"
 )
 
 // TestTextCVDeterministic: identical configs must produce identical
@@ -64,6 +67,45 @@ func TestRankCVDeterministic(t *testing.T) {
 		if a.Ranking[i] != b.Ranking[i] {
 			t.Fatalf("ranking entry %d differs", i)
 		}
+	}
+}
+
+// TestEnsembleSelectionOrderParallel: with a fixed seed, training the
+// model library in parallel must yield the exact greedy selection
+// sequence of the sequential run — the ensemble's behavior is defined
+// by which models are picked in which order.
+func TestEnsembleSelectionOrderParallel(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	ds := TFIDFDataset(snap, TextConfig{Classifier: SVM, Terms: 100, Seed: 5})
+	library := make([]ensemble.Factory, 0, 4)
+	for _, k := range []ClassifierKind{NBM, NB, SVM, J48} {
+		kind := k
+		library = append(library, ensemble.Factory{
+			Name: string(kind),
+			New: func() ml.Classifier {
+				clf, err := NewClassifier(kind, 5)
+				if err != nil {
+					panic(err)
+				}
+				return clf
+			},
+		})
+	}
+	run := func(workers int) []string {
+		sel := ensemble.New(library...)
+		sel.Seed = 5
+		sel.Workers = workers
+		if err := sel.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		return sel.SelectionOrder()
+	}
+	seq := run(1)
+	if len(seq) == 0 {
+		t.Fatal("no models selected")
+	}
+	if par := run(8); !reflect.DeepEqual(seq, par) {
+		t.Errorf("selection sequence differs: Workers=1 %v vs Workers=8 %v", seq, par)
 	}
 }
 

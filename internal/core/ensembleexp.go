@@ -5,6 +5,7 @@ import (
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/ml/ensemble"
+	"pharmaverify/internal/parallel"
 )
 
 // EnsembleConfig parameterizes the ensemble-selection experiment
@@ -20,6 +21,9 @@ type EnsembleConfig struct {
 	MaxRounds int
 	// Network configures the network library member.
 	Network NetworkConfig
+	// Workers bounds fold-level concurrency (0 = process default,
+	// 1 = sequential). Results are identical at every worker count.
+	Workers int
 }
 
 func (c EnsembleConfig) withDefaults() EnsembleConfig {
@@ -60,9 +64,13 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 	// over the corpus, like the Weka ARFF inputs of the paper).
 	countsDS := TFIDFDataset(snap, TextConfig{Classifier: NBM, Terms: cfg.Terms, Seed: cfg.Seed})
 	tfidfDS := TFIDFDataset(snap, TextConfig{Classifier: SVM, Terms: cfg.Terms, Seed: cfg.Seed})
+	// The rendered NGG documents are fold-independent; only the class
+	// graphs (built from each fold's build split) differ per fold.
+	docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
 
-	var res eval.CVResult
-	for f := range folds {
+	// Folds are fully independent here — every random choice derives
+	// from cfg.Seed+fold — so they fan out without a pre-draw phase.
+	frs, err := parallel.MapErr(len(folds), cfg.Workers, func(f int) (eval.FoldResult, error) {
 		trainIdx, testIdx := folds.TrainTest(f)
 
 		// Split training into build (2/3) and hillclimb (1/3).
@@ -77,12 +85,11 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 		seeds := seedMap(snap, buildIdx, cfg.Network.Variant)
 		netScores, err := NetworkScores(snap, seeds, cfg.Network)
 		if err != nil {
-			return eval.CVResult{}, err
+			return eval.FoldResult{}, err
 		}
 		netDS := scoreDataset(netScores, labels, names)
 
 		// NGG features: class graphs from half of the build split.
-		docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
 		nggDS := NGGFeatureDataset(docs, labels, names, buildIdx[:len(buildIdx)/2])
 
 		members := []ensembleMember{
@@ -93,15 +100,23 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 			{name: "NB(network)", ds: netDS},
 		}
 		kinds := []ClassifierKind{NBM, SVM, J48, MLP, NB}
-		for m := range members {
+		// Library members are independent given the shared feature
+		// views, so they train concurrently too.
+		clfs, err := parallel.MapErr(len(members), cfg.Workers, func(m int) (ml.Classifier, error) {
 			clf, err := NewClassifier(kinds[m], cfg.Seed)
 			if err != nil {
-				return eval.CVResult{}, err
+				return nil, err
 			}
 			if err := clf.Fit(members[m].ds.Subset(buildIdx)); err != nil {
-				return eval.CVResult{}, err
+				return nil, err
 			}
-			members[m].clf = clf
+			return clf, nil
+		})
+		if err != nil {
+			return eval.FoldResult{}, err
+		}
+		for m := range members {
+			members[m].clf = clfs[m]
 		}
 
 		// Greedy selection on the hillclimb split.
@@ -129,9 +144,12 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
 		}
 		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
-		res.Folds = append(res.Folds, fr)
+		return fr, nil
+	})
+	if err != nil {
+		return eval.CVResult{}, err
 	}
-	return res, nil
+	return eval.CVResult{Folds: frs}, nil
 }
 
 // CombinedFeaturesCV is the future-work ablation (§7b): a single
@@ -148,13 +166,12 @@ func CombinedFeaturesCV(snap *dataset.Snapshot, clf ClassifierKind, terms int, f
 	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
 	kf := eval.StratifiedKFold(labelDS, folds, seed)
 
-	var res eval.CVResult
-	for f := range kf {
+	frs, err := parallel.MapErr(len(kf), 0, func(f int) (eval.FoldResult, error) {
 		trainIdx, testIdx := kf.TrainTest(f)
 		seeds := seedMap(snap, trainIdx, net.Variant)
 		netScores, err := NetworkScores(snap, seeds, net)
 		if err != nil {
-			return eval.CVResult{}, err
+			return eval.FoldResult{}, err
 		}
 		// Concatenate: text dims + 1 trust dim.
 		ds := &ml.Dataset{Dim: text.Dim + 1}
@@ -166,10 +183,10 @@ func CombinedFeaturesCV(snap *dataset.Snapshot, clf ClassifierKind, terms int, f
 		}
 		c, err := NewClassifier(clf, seed)
 		if err != nil {
-			return eval.CVResult{}, err
+			return eval.FoldResult{}, err
 		}
 		if err := c.Fit(ds.Subset(trainIdx)); err != nil {
-			return eval.CVResult{}, err
+			return eval.FoldResult{}, err
 		}
 		fr := eval.FoldResult{TestIndex: testIdx}
 		for _, i := range testIdx {
@@ -179,9 +196,12 @@ func CombinedFeaturesCV(snap *dataset.Snapshot, clf ClassifierKind, terms int, f
 			fr.Confusion.Observe(labels[i], ml.PredictFromProb(p))
 		}
 		fr.AUC = eval.AUC(fr.Scores, fr.Labels)
-		res.Folds = append(res.Folds, fr)
+		return fr, nil
+	})
+	if err != nil {
+		return eval.CVResult{}, err
 	}
-	return res, nil
+	return eval.CVResult{Folds: frs}, nil
 }
 
 func pick(src []int, idx []int) []int {

@@ -10,6 +10,7 @@ import (
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/ngram"
+	"pharmaverify/internal/parallel"
 )
 
 // RankConfig parameterizes the Online Pharmacy Ranking experiment
@@ -183,7 +184,7 @@ func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]fl
 	legitClass, illegitClass := nggClassGraphs(docs, labels, half)
 
 	out := make([]float64, len(docs))
-	parallelFor(len(docs), func(i int) {
+	parallel.For(len(docs), 0, func(i int) {
 		g := ngram.FromDocument(docs[i])
 		out[i] = ngram.TextRank(g, legitClass, illegitClass) / 8
 	})

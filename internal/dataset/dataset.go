@@ -9,6 +9,9 @@
 package dataset
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -62,6 +65,9 @@ type Snapshot struct {
 
 	outboundOnce sync.Once
 	outboundMap  map[string][]string
+
+	hashOnce sync.Once
+	hash     string
 }
 
 // Build crawls every domain through the fetcher, preprocesses the text
@@ -173,6 +179,57 @@ func (s *Snapshot) Outbound() map[string][]string {
 		s.outboundMap = m
 	})
 	return s.outboundMap
+}
+
+// ContentHash returns a hex SHA-256 digest of the snapshot's contents
+// (pharmacies, labels, terms, link structure and auxiliary sites) —
+// everything the derived feature representations depend on. It is the
+// cache key of the shared feature cache: unlike a pointer-formatted
+// key, it can never alias two distinct snapshots, and logically
+// identical snapshots (e.g. one reloaded from disk) share entries.
+//
+// The digest is memoized; like Outbound, it assumes the snapshot is
+// not mutated after the first call.
+func (s *Snapshot) ContentHash() string {
+	s.hashOnce.Do(func() {
+		h := sha256.New()
+		var frame [8]byte
+		num := func(n int) {
+			binary.LittleEndian.PutUint64(frame[:], uint64(n))
+			h.Write(frame[:])
+		}
+		// Length-prefix every string so concatenations can't collide
+		// ("ab","c" vs "a","bc").
+		str := func(v string) {
+			num(len(v))
+			io.WriteString(h, v)
+		}
+		num(len(s.Pharmacies))
+		for _, p := range s.Pharmacies {
+			str(p.Domain)
+			num(p.Label)
+			num(len(p.Terms))
+			for _, t := range p.Terms {
+				str(t)
+			}
+			num(len(p.Outbound))
+			for _, o := range p.Outbound {
+				str(o)
+			}
+			num(p.Pages)
+		}
+		num(len(s.Aux))
+		for _, a := range s.Aux {
+			str(a.Domain)
+			num(len(a.Outbound))
+			for _, o := range a.Outbound {
+				str(o)
+			}
+			num(a.Pages)
+		}
+		s.hash = hex.EncodeToString(h.Sum(nil))
+	})
+	return s.hash
 }
 
 // SubsampledTerms returns each pharmacy's terms randomly subsampled to

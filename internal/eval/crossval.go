@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 )
 
 // Folds holds the instance indices of each cross-validation fold.
@@ -136,35 +137,77 @@ type Trainer func() ml.Classifier
 // Sampler rebalances a training set (undersampling, SMOTE, ...).
 type Sampler func(*ml.Dataset, *rand.Rand) *ml.Dataset
 
+// CVOptions tunes the execution of cross-validation without changing
+// its results.
+type CVOptions struct {
+	// Workers bounds fold-level concurrency: folds train and score on
+	// up to Workers goroutines. 0 uses the process default
+	// (parallel.Workers); 1 forces a sequential run. Results are
+	// bit-identical at every worker count.
+	Workers int
+}
+
 // CrossValidate runs stratified k-fold cross-validation of the trainer
 // on ds. The sampler (if non-nil) is applied to each training split
 // only; the test split always keeps the natural distribution, matching
-// the paper's protocol.
+// the paper's protocol. Folds are evaluated concurrently with the
+// default worker count; see CrossValidateOpts for the determinism
+// contract.
 func CrossValidate(ds *ml.Dataset, k int, seed int64, train Trainer, sample Sampler) (CVResult, error) {
+	return CrossValidateOpts(ds, k, seed, train, sample, CVOptions{})
+}
+
+// CrossValidateOpts is CrossValidate with explicit execution options.
+//
+// Determinism contract: the per-fold training sets — including every
+// sampler draw from the master seed's RNG stream — are materialized
+// sequentially in fold order *before* folds are dispatched to the
+// worker pool. Training and scoring, the expensive phase, then run
+// concurrently on self-contained inputs (the trainer must return a
+// fresh classifier per call and classifiers must not mutate their
+// training set, which all repository learners honor). Parallel results
+// are therefore bit-identical to a sequential run of the historical
+// single-threaded loop.
+func CrossValidateOpts(ds *ml.Dataset, k int, seed int64, train Trainer, sample Sampler, opt CVOptions) (CVResult, error) {
 	folds := StratifiedKFold(ds, k, seed)
 	rng := rand.New(rand.NewSource(seed + 1))
-	var res CVResult
+
+	// Pre-draw phase (sequential, fold order): consume the shared
+	// sampler stream exactly as the sequential loop did.
+	type foldInput struct {
+		trainSet *ml.Dataset
+		testIdx  []int
+	}
+	inputs := make([]foldInput, len(folds))
 	for f := range folds {
 		trainIdx, testIdx := folds.TrainTest(f)
 		trainSet := ds.Subset(trainIdx)
 		if sample != nil {
 			trainSet = sample(trainSet, rng)
 		}
+		inputs[f] = foldInput{trainSet: trainSet, testIdx: testIdx}
+	}
+
+	// Fan-out phase: train and score folds concurrently.
+	frs, err := parallel.MapErr(len(folds), opt.Workers, func(f int) (FoldResult, error) {
 		clf := train()
-		if err := clf.Fit(trainSet); err != nil {
-			return CVResult{}, err
+		if err := clf.Fit(inputs[f].trainSet); err != nil {
+			return FoldResult{}, err
 		}
-		fr := FoldResult{TestIndex: testIdx}
-		for _, i := range testIdx {
+		fr := FoldResult{TestIndex: inputs[f].testIdx}
+		for _, i := range inputs[f].testIdx {
 			p := clf.Prob(ds.X[i])
 			fr.Scores = append(fr.Scores, p)
 			fr.Labels = append(fr.Labels, ds.Y[i])
 			fr.Confusion.Observe(ds.Y[i], ml.PredictFromProb(p))
 		}
 		fr.AUC = AUC(fr.Scores, fr.Labels)
-		res.Folds = append(res.Folds, fr)
+		return fr, nil
+	})
+	if err != nil {
+		return CVResult{}, err
 	}
-	return res, nil
+	return CVResult{Folds: frs}, nil
 }
 
 // PairwiseOrderedness implements the paper's pairord measure: the

@@ -1,0 +1,127 @@
+// Package featcache provides the bounded, content-keyed feature cache
+// shared by the evaluation pipeline. It memoizes expensive derived
+// artifacts (N-Gram-Graph fold features, TF-IDF vocabularies and
+// datasets) under keys derived from a hash of the input snapshot's
+// *contents* plus the experiment configuration.
+//
+// Content keys fix a subtle aliasing bug of pointer-formatted keys
+// (`fmt.Sprintf("%p", snap)`): a garbage-collected snapshot's address
+// can be reused by a different snapshot, silently serving another
+// dataset's features. Hashing the contents makes the key collision-free
+// for distinct inputs and additionally lets logically identical
+// snapshots share entries.
+//
+// The cache is safe for concurrent use and deduplicates concurrent
+// builds of the same key (singleflight): when several goroutines ask
+// for a missing entry at once, exactly one executes the build function
+// and the rest block until the value is ready. Eviction is LRU with a
+// bounded entry count.
+package featcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU cache with singleflight builds. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// entry is one cache slot. The once gate makes concurrent builders of
+// the same key cooperate: the first caller runs the build, the rest
+// block on once.Do until val/err are set.
+type entry struct {
+	key  string
+	once sync.Once
+	val  any
+	err  error
+}
+
+// New returns a cache bounded to max entries (values beyond the bound
+// are evicted least-recently-used first). max <= 0 panics: an
+// unbounded feature cache would pin every snapshot's features in
+// memory for the life of the process.
+func New(max int) *Cache {
+	if max <= 0 {
+		panic("featcache: max must be positive")
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Do returns the value cached under key, building it with build on
+// first use. Concurrent calls with the same key share a single build.
+// Errors are cached alongside values (builds are assumed deterministic,
+// so retrying an identical failing build would fail identically).
+//
+// The returned value is shared between all callers of the key: treat
+// it as read-only.
+func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+		c.hits++
+	} else {
+		c.misses++
+		el = c.order.PushFront(&entry{key: key})
+		c.entries[key] = el
+		for c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).key)
+			c.evictions++
+		}
+	}
+	e := el.Value.(*entry)
+	c.mu.Unlock()
+
+	// Outside the lock: a slow build must not serialize unrelated keys.
+	// Evicted entries stay valid for goroutines already holding them.
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Contains reports whether key currently has an entry, without
+// touching recency or stats.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Purge drops every entry (used by the benchmark harness to measure
+// cold-cache runs) and resets the stats counters.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// Stats reports cumulative hit/miss/eviction counts since the last
+// Purge.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,154 @@
+package featcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesPerKey(t *testing.T) {
+	c := New(8)
+	builds := 0
+	get := func(key string) any {
+		v, err := c.Do(key, func() (any, error) {
+			builds++
+			return "value-" + key, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := get("a"); v != "value-a" {
+		t.Fatalf("got %v", v)
+	}
+	if v := get("a"); v != "value-a" {
+		t.Fatalf("got %v", v)
+	}
+	if v := get("b"); v != "value-b" {
+		t.Fatalf("got %v", v)
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2 (one per distinct key)", builds)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New(4)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]any, 32)
+	for g := 0; g < len(results); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			v, err := c.Do("shared", func() (any, error) {
+				builds.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1 (singleflight)", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %v", g, v)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Do(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	c.Do("k0", func() (any, error) { t.Fatal("k0 rebuilt"); return nil, nil })
+	c.Do("k3", func() (any, error) { return 3, nil })
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Contains("k1") {
+		t.Fatal("k1 not evicted (LRU order violated)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if !c.Contains(k) {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New(2)
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Do("bad", func() (any, error) {
+			builds++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failing build ran %d times, want 1", builds)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(4)
+	c.Do("a", func() (any, error) { return 1, nil })
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	rebuilt := false
+	c.Do("a", func() (any, error) { rebuilt = true; return 2, nil })
+	if !rebuilt {
+		t.Fatal("entry survived purge")
+	}
+}
+
+func TestDistinctKeysNeverShareEntries(t *testing.T) {
+	// Concurrent mixed-key access: every key must see its own value.
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i)
+				v, err := c.Do(key, func() (any, error) { return key + "!", nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != key+"!" {
+					t.Errorf("key %s served foreign value %v", key, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -17,6 +17,7 @@ import (
 
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 )
 
 // Factory creates one untrained library model.
@@ -49,6 +50,12 @@ type Selection struct {
 	BagFraction float64
 	// Seed controls the train/hillclimb split and bagging.
 	Seed int64
+	// Workers bounds the concurrency of library training (0 = process
+	// default, 1 = sequential). The selected models are identical at
+	// every worker count: each library model trains independently on
+	// the shared build split, and the greedy selection runs after all
+	// of them finish.
+	Workers int
 
 	models   []ml.Classifier
 	selected []int // indices into models, with multiplicity
@@ -105,20 +112,33 @@ func (s *Selection) Fit(ds *ml.Dataset) error {
 		return ml.ErrOneClass
 	}
 
-	// Train the library.
-	s.models = make([]ml.Classifier, len(s.Library))
-	probs := make([][]float64, len(s.Library)) // model × hillclimb instance
-	for m, f := range s.Library {
-		clf := f.New()
+	// Train the library concurrently: models are independent given the
+	// shared (read-only) build split, and hillclimb probabilities are
+	// collected per model, so results match the sequential loop
+	// exactly.
+	type trained struct {
+		clf   ml.Classifier
+		probs []float64
+	}
+	lib, err := parallel.MapErr(len(s.Library), s.Workers, func(m int) (trained, error) {
+		clf := s.Library[m].New()
 		if err := clf.Fit(build); err != nil {
-			return err
+			return trained{}, err
 		}
-		s.models[m] = clf
 		p := make([]float64, hill.Len())
 		for i, x := range hill.X {
 			p[i] = clf.Prob(x)
 		}
-		probs[m] = p
+		return trained{clf: clf, probs: p}, nil
+	})
+	if err != nil {
+		return err
+	}
+	s.models = make([]ml.Classifier, len(s.Library))
+	probs := make([][]float64, len(s.Library)) // model × hillclimb instance
+	for m, t := range lib {
+		s.models[m] = t.clf
+		probs[m] = t.probs
 	}
 
 	if s.Bags > 1 {
@@ -190,6 +210,17 @@ func (s *Selection) Selected() map[string]int {
 	out := make(map[string]int)
 	for _, m := range s.selected {
 		out[s.Library[m].Name]++
+	}
+	return out
+}
+
+// SelectionOrder returns the factory names of the selected models in
+// the order the greedy search picked them (with multiplicity) — the
+// sequence the determinism tests pin down across worker counts.
+func (s *Selection) SelectionOrder() []string {
+	out := make([]string, len(s.selected))
+	for i, m := range s.selected {
+		out[i] = s.Library[m].Name
 	}
 	return out
 }

@@ -1,0 +1,53 @@
+package ensemble
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFitParallelSelectionOrder: with a fixed seed, the greedy
+// selection must pick the same models in the same order whether the
+// library trains sequentially or on many workers.
+func TestFitParallelSelectionOrder(t *testing.T) {
+	train := noisyDataset(600, 1)
+	run := func(workers int) []string {
+		sel := New(library()...)
+		sel.Seed = 3
+		sel.Workers = workers
+		if err := sel.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return sel.SelectionOrder()
+	}
+	seq := run(1)
+	if len(seq) == 0 {
+		t.Fatal("no models selected")
+	}
+	for _, w := range []int{2, 8} {
+		if par := run(w); !reflect.DeepEqual(seq, par) {
+			t.Errorf("selection order differs at Workers=%d: %v vs %v", w, seq, par)
+		}
+	}
+}
+
+// TestFitParallelProbIdentical: the fitted ensembles must score
+// instances identically at every worker count.
+func TestFitParallelProbIdentical(t *testing.T) {
+	train := noisyDataset(600, 4)
+	test := noisyDataset(120, 5)
+	fit := func(workers int) *Selection {
+		sel := New(library()...)
+		sel.Seed = 9
+		sel.Workers = workers
+		if err := sel.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	a, b := fit(1), fit(8)
+	for i, x := range test.X {
+		if a.Prob(x) != b.Prob(x) {
+			t.Fatalf("instance %d: prob differs between worker counts", i)
+		}
+	}
+}

@@ -162,16 +162,42 @@ func Scale(v Vector, c float64) Vector {
 	return out
 }
 
-// Lerp returns a + t*(b-a) as a sparse vector (used by SMOTE).
+// Lerp returns a + t*(b-a) as a sparse vector (used by SMOTE). The
+// inputs' index lists are already sorted, so the result is assembled by
+// a linear merge — no per-call map or re-sort on this hot path.
 func Lerp(a, b Vector, t float64) Vector {
-	m := make(map[int]float64, a.Len()+b.Len())
-	for k, i := range a.Ind {
-		m[int(i)] += (1 - t) * a.Val[k]
+	v := Vector{
+		Ind: make([]int32, 0, a.Len()+b.Len()),
+		Val: make([]float64, 0, a.Len()+b.Len()),
 	}
-	for k, i := range b.Ind {
-		m[int(i)] += t * b.Val[k]
+	push := func(ind int32, val float64) {
+		if val != 0 {
+			v.Ind = append(v.Ind, ind)
+			v.Val = append(v.Val, val)
+		}
 	}
-	return FromMap(m)
+	i, j := 0, 0
+	for i < len(a.Ind) && j < len(b.Ind) {
+		switch {
+		case a.Ind[i] < b.Ind[j]:
+			push(a.Ind[i], (1-t)*a.Val[i])
+			i++
+		case a.Ind[i] > b.Ind[j]:
+			push(b.Ind[j], t*b.Val[j])
+			j++
+		default:
+			push(a.Ind[i], (1-t)*a.Val[i]+t*b.Val[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Ind); i++ {
+		push(a.Ind[i], (1-t)*a.Val[i])
+	}
+	for ; j < len(b.Ind); j++ {
+		push(b.Ind[j], t*b.Val[j])
+	}
+	return v
 }
 
 // Dataset is a labeled collection of sparse instances.

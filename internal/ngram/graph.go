@@ -73,8 +73,17 @@ func hashGram(s string) gramID {
 // factor so that merging a document costs O(|doc|) instead of O(|G|):
 // the true weight of edge e is w[e] * scale.
 type Graph struct {
-	w      map[packedEdge]float64
-	grams  map[gramID]string // id → gram text, for the Edge-based API
+	w     map[packedEdge]float64
+	grams map[gramID]string // id → gram text, for the Edge-based API
+	// order lists the edges in first-insertion order. Float
+	// accumulations over a graph's edges (ValueSimilarity) iterate this
+	// slice instead of the map: Go randomizes map iteration order, and
+	// summing in a different order changes the rounding of the result,
+	// which would make the similarity features differ between runs in
+	// their last bits. Insertion order is fully determined by the input
+	// text, so iterating it keeps every graph computation bit-for-bit
+	// reproducible.
+	order  []packedEdge
 	scale  float64
 	merged int // number of document graphs folded into a class graph
 }
@@ -119,7 +128,11 @@ func FromText(text string, n, win int) *Graph {
 			lo = 0
 		}
 		for j := lo; j < i; j++ {
-			g.w[packedEdge{ids[j], ids[i]}]++
+			e := packedEdge{ids[j], ids[i]}
+			if _, ok := g.w[e]; !ok {
+				g.order = append(g.order, e)
+			}
+			g.w[e]++
 		}
 	}
 	return g
@@ -149,6 +162,7 @@ func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		w:      make(map[packedEdge]float64, len(g.w)),
 		grams:  make(map[gramID]string, len(g.grams)),
+		order:  append([]packedEdge(nil), g.order...),
 		scale:  g.scale,
 		merged: g.merged,
 	}
@@ -169,11 +183,14 @@ func (g *Graph) Clone() *Graph {
 // through the global scale, so a merge costs O(|doc|).
 func (g *Graph) Merge(doc *Graph) {
 	l := 1.0 / float64(g.merged+1)
+	// Iterate the document's deterministic edge order (not its map) so
+	// the class graph's own edge order is reproducible as well.
 	if g.merged == 0 {
 		// First merge: copy the document as-is.
-		for e, wd := range doc.w {
-			g.w[e] = wd * doc.scale
+		for _, e := range doc.order {
+			g.w[e] = doc.w[e] * doc.scale
 		}
+		g.order = append(g.order, doc.order...)
 		for id, s := range doc.grams {
 			g.grams[id] = s
 		}
@@ -183,8 +200,11 @@ func (g *Graph) Merge(doc *Graph) {
 	}
 	g.scale *= 1 - l
 	inv := 1 / g.scale
-	for e, wd := range doc.w {
-		g.w[e] += l * wd * doc.scale * inv
+	for _, e := range doc.order {
+		if _, ok := g.w[e]; !ok {
+			g.order = append(g.order, e)
+		}
+		g.w[e] += l * doc.w[e] * doc.scale * inv
 	}
 	for id, s := range doc.grams {
 		if _, ok := g.grams[id]; !ok {
@@ -235,7 +255,10 @@ func ValueSimilarity(gi, gj *Graph) float64 {
 		return 0
 	}
 	var sum float64
-	for e, wi := range gi.w {
+	// Sum in gi's deterministic edge order; iterating the map here
+	// would randomize the accumulation order and thus the rounding.
+	for _, e := range gi.order {
+		wi := gi.w[e]
 		wj, ok := gj.w[e]
 		if !ok {
 			continue

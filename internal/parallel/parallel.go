@@ -1,0 +1,133 @@
+// Package parallel is the deterministic fan-out engine used by the
+// evaluation pipeline: a bounded, GOMAXPROCS-aware worker pool that
+// executes index-addressed work items concurrently and collects the
+// results in input order.
+//
+// Determinism contract: the engine never changes *what* is computed,
+// only *when*. Callers must make each work item self-contained before
+// dispatch — any shared random stream has to be pre-drawn in index
+// order (see eval.CrossValidateOpts) — and then For/MapErr guarantee
+// that the assembled results, including the error surfaced by MapErr,
+// are identical to a sequential loop over the same items.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the GOMAXPROCS default when positive.
+var defaultWorkers atomic.Int64
+
+func init() {
+	if s := os.Getenv("PHARMAVERIFY_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			defaultWorkers.Store(int64(n))
+		}
+	}
+}
+
+// SetDefault sets the process-wide default worker count used when a
+// call site passes workers <= 0. n <= 0 restores the GOMAXPROCS
+// default. The PHARMAVERIFY_WORKERS environment variable provides the
+// same control without code changes.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default reports the current process-wide default worker count set by
+// SetDefault or PHARMAVERIFY_WORKERS (0 when unset, i.e. GOMAXPROCS).
+// Benchmark harnesses use it to save and restore the default around
+// their sequential and parallel legs.
+func Default() int { return int(defaultWorkers.Load()) }
+
+// Workers resolves a requested worker count: a positive n is used as
+// given; n <= 0 falls back to SetDefault / PHARMAVERIFY_WORKERS and
+// finally to GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if d := defaultWorkers.Load(); d > 0 {
+		return int(d)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs f(0) … f(n-1) on up to Workers(workers) goroutines and
+// returns when all calls have finished. Items are handed out in index
+// order; with workers resolving to 1 the loop runs inline with no
+// goroutines. A panic in any f is re-raised in the caller (the one
+// from the lowest index, matching a sequential loop).
+func For(n, workers int, f func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicIdx = -1
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+}
+
+// MapErr runs f for every index on up to Workers(workers) goroutines
+// and returns the results ordered by index. If any call fails, the
+// error of the lowest failing index is returned — the same error a
+// sequential loop would surface first — and the results are discarded.
+func MapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	For(n, workers, func(i int) {
+		out[i], errs[i] = f(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

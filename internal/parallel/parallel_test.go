@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 123
+		counts := make([]int64, n)
+		For(n, workers, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndTinyN(t *testing.T) {
+	For(0, 4, func(i int) { t.Fatalf("f called for n=0 (i=%d)", i) })
+	ran := false
+	For(1, 8, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("f not called for n=1")
+	}
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	For(64, 3, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent workers, want <= 3", p)
+	}
+}
+
+func TestMapErrOrdersResults(t *testing.T) {
+	out, err := MapErr(50, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	_, err := MapErr(20, 8, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errLow
+		case 17:
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestMapErrMatchesSequential(t *testing.T) {
+	// The parallel engine must be a pure reordering of execution: the
+	// assembled results are identical at any worker count.
+	f := func(i int) (string, error) { return fmt.Sprintf("item-%d", i*7%13), nil }
+	seq, err := MapErr(40, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MapErr(40, runtime.GOMAXPROCS(0)*2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestForPropagatesLowestPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if r != "boom-2" {
+			t.Fatalf("recovered %v, want lowest-index panic boom-2", r)
+		}
+	}()
+	For(16, 4, func(i int) {
+		if i == 2 || i == 9 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	SetDefault(3)
+	defer SetDefault(0)
+	if got := Workers(0); got != 3 {
+		t.Fatalf("Workers(0) with default 3 = %d", got)
+	}
+	SetDefault(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -20,6 +20,13 @@ type Vocabulary struct {
 	terms []string
 	df    []int // document frequency per term
 	docs  int   // number of documents seen
+
+	// seenGen/gen implement the per-document "term already counted"
+	// check without allocating a fresh set for every document:
+	// seenGen[i] == gen means term i was seen in the current document.
+	// Bumping gen invalidates the whole slice in O(1).
+	seenGen []int
+	gen     int
 }
 
 // BuildVocabulary constructs a vocabulary over the given tokenized
@@ -36,7 +43,7 @@ func BuildVocabulary(docs [][]string) *Vocabulary {
 // AddDocument folds one more document into the vocabulary.
 func (v *Vocabulary) AddDocument(terms []string) {
 	v.docs++
-	seen := make(map[int]bool, len(terms))
+	v.gen++
 	for _, t := range terms {
 		i, ok := v.index[t]
 		if !ok {
@@ -44,10 +51,11 @@ func (v *Vocabulary) AddDocument(terms []string) {
 			v.index[t] = i
 			v.terms = append(v.terms, t)
 			v.df = append(v.df, 0)
+			v.seenGen = append(v.seenGen, 0)
 		}
-		if !seen[i] {
+		if v.seenGen[i] != v.gen {
 			v.df[i]++
-			seen[i] = true
+			v.seenGen[i] = v.gen
 		}
 	}
 }
@@ -138,6 +146,10 @@ func (v *Vocabulary) UnmarshalJSON(data []byte) error {
 	v.terms = s.Terms
 	v.df = s.DF
 	v.docs = s.Docs
+	// Fresh generation state so a restored vocabulary can keep folding
+	// in documents.
+	v.seenGen = make([]int, len(s.Terms))
+	v.gen = 0
 	v.index = make(map[string]int, len(s.Terms))
 	for i, t := range s.Terms {
 		if _, dup := v.index[t]; dup {
