@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pharmaverify/internal/bench"
@@ -33,9 +37,21 @@ func main() {
 		list      = flag.Bool("list", false, "list available artifacts")
 		format    = flag.String("format", "text", "output format: text or markdown")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		benchJSON = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: dataset builds and artifact
+	// regeneration stop at the next boundary instead of running to the
+	// bitter end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *workers > 0 {
 		parallel.SetDefault(*workers)
@@ -70,7 +86,7 @@ func main() {
 
 	fmt.Printf("generating synthetic datasets (scale=%s, seed=%d)...\n", scale.Name, scale.Seed)
 	start := time.Now()
-	env, err := bench.NewEnv(scale)
+	env, err := bench.NewEnvCtx(ctx, scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +132,12 @@ func main() {
 	}
 
 	run := func(r bench.Runner) {
+		// Check the context between artifacts: a signal or an expired
+		// -timeout stops the sweep at the next clean boundary with the
+		// completed tables already printed.
+		if err := ctx.Err(); err != nil {
+			fatal(fmt.Errorf("stopping before %s: %w", r.ID, err))
+		}
 		t0 := time.Now()
 		tab, err := r.Run(env)
 		if err != nil {
@@ -148,5 +170,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

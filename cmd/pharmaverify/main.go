@@ -19,12 +19,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"pharmaverify/internal/arff"
+	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
@@ -36,16 +42,38 @@ import (
 )
 
 func main() {
+	// SIGINT/SIGTERM cancel the context: long-running subcommands stop
+	// claiming work, flush their checkpoints and return promptly, so an
+	// interrupted run can resume instead of leaving torn state behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	args := os.Args[1:]
-	// Global -workers flag (before the subcommand): bounds the
-	// evaluation worker pool. Results do not depend on the value.
-	if len(args) >= 2 && args[0] == "-workers" {
-		n, err := strconv.Atoi(args[1])
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "pharmaverify: -workers wants a positive integer, got %q\n", args[1])
-			os.Exit(2)
+	// Global flags (before the subcommand): -workers bounds the shared
+	// worker pool (results do not depend on the value); -timeout puts a
+	// deadline on the whole invocation.
+	var cancelTimeout context.CancelFunc
+globals:
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-workers":
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "pharmaverify: -workers wants a positive integer, got %q\n", args[1])
+				os.Exit(2)
+			}
+			parallel.SetDefault(n)
+		case "-timeout":
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d <= 0 {
+				fmt.Fprintf(os.Stderr, "pharmaverify: -timeout wants a positive duration, got %q\n", args[1])
+				os.Exit(2)
+			}
+			ctx, cancelTimeout = context.WithTimeout(ctx, d)
+			defer cancelTimeout()
+		default:
+			break globals
 		}
-		parallel.SetDefault(n)
 		args = args[2:]
 	}
 	if len(args) < 1 {
@@ -55,17 +83,17 @@ func main() {
 	var err error
 	switch args[0] {
 	case "generate":
-		err = cmdGenerate(args[1:])
+		err = cmdGenerate(ctx, args[1:])
 	case "classify":
-		err = cmdClassify(args[1:])
+		err = cmdClassify(ctx, args[1:])
 	case "rank":
-		err = cmdRank(args[1:])
+		err = cmdRank(ctx, args[1:])
 	case "stats":
 		err = cmdStats(args[1:])
 	case "export":
 		err = cmdExport(args[1:])
 	case "train":
-		err = cmdTrain(args[1:])
+		err = cmdTrain(ctx, args[1:])
 	case "inspect":
 		err = cmdInspect(args[1:])
 	case "-h", "--help", "help":
@@ -77,14 +105,19 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverify:", err)
+		if errors.Is(err, context.Canceled) {
+			// Conventional exit status for SIGINT-style termination.
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] <generate|classify|rank|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] [-timeout D] <generate|classify|rank|stats> [flags]
   generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
             [-retries N] [-failure-budget N] [-flaky RATE]   (resilient-crawl knobs)
+            [-delay D] [-checkpoint DIR]                     (politeness / crash-safe resume)
   train     -in FILE -out MODEL.json [-classifier SVM] [-terms N]
   classify  -train FILE | -model MODEL.json, -test FILE [-classifier SVM] [-terms N]
   rank      -train FILE -test FILE [-top N]
@@ -93,7 +126,7 @@ func usage() {
   export    -in FILE -out FILE.arff [-terms N] [-counts]   (Weka interop)`)
 }
 
-func cmdGenerate(args []string) error {
+func cmdGenerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "generation seed")
 	snapshot := fs.Int("snapshot", 1, "crawl epoch: 1 (Dataset 1) or 2 (six months later)")
@@ -103,6 +136,8 @@ func cmdGenerate(args []string) error {
 	retries := fs.Int("retries", 1, "fetch attempts per page (retry budget)")
 	budget := fs.Int("failure-budget", 0, "per-domain circuit breaker: consecutive lost pages before giving up (0 = off)")
 	flaky := fs.Float64("flaky", 0, "inject seeded transient fetch failures at this rate (exercise the resilient crawl path)")
+	delay := fs.Duration("delay", 0, "politeness delay before every fetch attempt (0 = none)")
+	ckptDir := fs.String("checkpoint", "", "journal completed domain crawls in this directory; rerunning with the same flags resumes instead of recrawling")
 	out := fs.String("out", "", "output snapshot file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,13 +156,41 @@ func cmdGenerate(args []string) error {
 	if *flaky > 0 {
 		fetcher = crawler.NewFaultInjector(world, crawler.FaultConfig{Seed: *seed, TransientRate: *flaky})
 	}
-	crawlCfg := crawler.Config{
-		Retry:         crawler.RetryConfig{MaxAttempts: *retries, Seed: *seed},
-		FailureBudget: *budget,
+	opts := dataset.BuildOptions{
+		Crawl: crawler.Config{
+			Retry:         crawler.RetryConfig{MaxAttempts: *retries, Seed: *seed},
+			FailureBudget: *budget,
+			Delay:         *delay,
+		},
+		Workers: 16,
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir)
+		if err != nil {
+			return err
+		}
+		opts.Checkpoint = store
 	}
 	name := fmt.Sprintf("snapshot-%d-seed-%d", *snapshot, *seed)
-	snap, err := dataset.Build(name, fetcher, world.Domains(), world.Labels(), crawlCfg, 16)
-	if err != nil {
+	snap, err := dataset.BuildCtx(ctx, name, fetcher, world.Domains(), world.Labels(), opts)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// Deadline expiry is an operator-chosen time budget: degrade
+		// gracefully to the partial snapshot and say what is missing.
+		fmt.Fprintf(os.Stderr, "generate: deadline expired; writing partial snapshot (%d of %d domains missing)\n",
+			snap.CrawlStats.DomainsMissing, len(world.Domains()))
+	case errors.Is(err, context.Canceled):
+		// A signal means "stop now": flush nothing half-done (the
+		// checkpoint store already holds every completed domain) and
+		// tell the operator how to pick the run back up.
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "generate: interrupted with %d domains to go; re-run with the same flags to resume from %s\n",
+				snap.CrawlStats.DomainsMissing, *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "generate: interrupted; use -checkpoint DIR to make interrupted runs resumable")
+		}
+		return err
+	case err != nil:
 		return err
 	}
 
@@ -162,6 +225,9 @@ func printCrawlStats(st *crawler.Stats) {
 	if st.RobotsUnreachable {
 		fmt.Fprintln(os.Stderr, "crawl: warning: robots.txt unreachable for at least one domain (proceeded as allow-all)")
 	}
+	if st.DomainsMissing > 0 {
+		fmt.Fprintf(os.Stderr, "crawl: warning: %d domains missing (interrupted build) — this snapshot is partial\n", st.DomainsMissing)
+	}
 }
 
 func loadSnapshot(path string) (*dataset.Snapshot, error) {
@@ -174,7 +240,7 @@ func loadSnapshot(path string) (*dataset.Snapshot, error) {
 }
 
 // cmdTrain trains a verifier on a labeled snapshot and persists it.
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	in := fs.String("in", "", "labeled training snapshot (JSON)")
 	out := fs.String("out", "", "output model file (default stdout)")
@@ -191,7 +257,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	v, err := core.Train(snap, core.Options{
+	v, err := core.TrainCtx(ctx, snap, core.Options{
 		Classifier: core.ClassifierKind(*clf), Terms: *terms, Seed: *seed,
 	})
 	if err != nil {
@@ -216,7 +282,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdClassify(args []string) error {
+func cmdClassify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	trainPath := fs.String("train", "", "labeled training snapshot (JSON)")
 	modelPath := fs.String("model", "", "pre-trained model file (alternative to -train)")
@@ -252,7 +318,7 @@ func cmdClassify(args []string) error {
 		if err != nil {
 			return err
 		}
-		v, err = core.Train(train, core.Options{
+		v, err = core.TrainCtx(ctx, train, core.Options{
 			Classifier: core.ClassifierKind(*clf), Terms: *terms, Seed: *seed,
 		})
 		if err != nil {
@@ -280,7 +346,7 @@ func cmdClassify(args []string) error {
 	return nil
 }
 
-func cmdRank(args []string) error {
+func cmdRank(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ExitOnError)
 	trainPath := fs.String("train", "", "labeled training snapshot (JSON)")
 	testPath := fs.String("test", "", "snapshot to rank (JSON)")
@@ -301,7 +367,7 @@ func cmdRank(args []string) error {
 	if err != nil {
 		return err
 	}
-	v, err := core.Train(train, core.Options{Classifier: core.NBM, Seed: *seed})
+	v, err := core.TrainCtx(ctx, train, core.Options{Classifier: core.NBM, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -451,6 +517,9 @@ func cmdStats(args []string) error {
 		fmt.Printf("crawl telemetry: %d attempts (%d retries), %d ok / %d failed, %d pages lost, %d breaker trips, %.1f KiB fetched\n",
 			st.Attempts, st.Retries, st.Successes, st.Failures, st.PagesFailed, st.BreakerTrips,
 			float64(st.Bytes)/1024)
+		if st.DomainsMissing > 0 {
+			fmt.Printf("warning: %d domains missing (interrupted build) — this snapshot is partial\n", st.DomainsMissing)
+		}
 	}
 	return nil
 }

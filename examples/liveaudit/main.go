@@ -8,11 +8,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pharmaverify/internal/core"
@@ -22,16 +27,23 @@ import (
 )
 
 func main() {
+	// Ctrl-C stops the audit at the next clean boundary: an in-flight
+	// fetch or training stage is abandoned, already-audited sites keep
+	// their results.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Training data: a synthetic labeled corpus (in production this is
 	// your manually-reviewed ground truth).
 	trainWorld := webgen.Generate(webgen.Config{
 		Seed: 21, NumLegit: 20, NumIllegit: 100, NetworkSize: 25,
 	})
-	train, err := dataset.Build("train", trainWorld, trainWorld.Domains(), trainWorld.Labels(), crawler.Config{}, 16)
+	train, err := dataset.BuildCtx(ctx, "train", trainWorld, trainWorld.Domains(), trainWorld.Labels(),
+		dataset.BuildOptions{Workers: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	verifier, err := core.Train(train, core.Options{Classifier: core.SVM, Seed: 2})
+	verifier, err := core.TrainCtx(ctx, train, core.Options{Classifier: core.SVM, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,9 +100,16 @@ func main() {
 	var crawlStats crawler.Stats
 	labels := liveWorld.Labels()
 	for _, domain := range liveWorld.Domains() {
-		snap, err := dataset.Build("live", crawlerAdapter{fetcher, domain}, []string{domain},
-			map[string]int{domain: labels[domain]}, liveCfg, 1)
+		if ctx.Err() != nil {
+			fmt.Printf("audit interrupted; reporting the %d sites crawled so far\n\n", len(audited))
+			break
+		}
+		snap, err := dataset.BuildCtx(ctx, "live", crawlerAdapter{fetcher, domain}, []string{domain},
+			map[string]int{domain: labels[domain]}, dataset.BuildOptions{Crawl: liveCfg, Workers: 1})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				continue // partial snapshot; the loop-top check reports and stops
+			}
 			log.Fatal(err)
 		}
 		audited = append(audited, snap.Pharmacies...)

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -86,6 +87,13 @@ var (
 
 // NewEnv generates (or returns the cached) environment for a scale.
 func NewEnv(s Scale) (*Env, error) {
+	return NewEnvCtx(context.Background(), s)
+}
+
+// NewEnvCtx is NewEnv with cooperative cancellation of the snapshot
+// builds, the expensive phase of environment construction. A cancelled
+// build returns ctx's error and caches nothing.
+func NewEnvCtx(ctx context.Context, s Scale) (*Env, error) {
 	key := fmt.Sprintf("%s-%d", s.Name, s.Seed)
 	envMu.Lock()
 	defer envMu.Unlock()
@@ -110,11 +118,13 @@ func NewEnv(s Scale) (*Env, error) {
 	dirs := w1.GenerateDirectories(1+s.Legit1/8, 1+s.Illegit1/60)
 	auxDomains := w1.AttachDirectories(dirs)
 
-	snap1, err := dataset.BuildWithAux("Dataset 1", w1, w1.Domains(), w1.Labels(), auxDomains, crawler.Config{}, 16)
+	snap1, err := dataset.BuildCtx(ctx, "Dataset 1", w1, w1.Domains(), w1.Labels(),
+		dataset.BuildOptions{Crawl: crawler.Config{}, Workers: 16, Aux: auxDomains})
 	if err != nil {
 		return nil, err
 	}
-	snap2, err := dataset.Build("Dataset 2", w2, w2.Domains(), w2.Labels(), crawler.Config{}, 16)
+	snap2, err := dataset.BuildCtx(ctx, "Dataset 2", w2, w2.Domains(), w2.Labels(),
+		dataset.BuildOptions{Crawl: crawler.Config{}, Workers: 16})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,282 @@
+// Package checkpoint is the crash-safe unit store behind resumable
+// long-running jobs: the snapshot builder journals each completed
+// domain crawl and the evaluator each completed CV fold, so a run that
+// is killed (SIGTERM, crash, deadline) restarts from the last finished
+// unit instead of from zero.
+//
+// # Guarantees
+//
+//   - Atomicity: a unit is written to a temp file, fsynced and renamed
+//     into place. Readers never observe a half-written record; a crash
+//     mid-Put leaves at most a stray temp file that is ignored.
+//   - Integrity: every record carries a magic header, length-prefixed
+//     key and payload, and a trailing SHA-256 over all preceding bytes.
+//     A truncated, bit-flipped or otherwise corrupt file fails
+//     verification.
+//   - Quarantine, not crash: a corrupt record is renamed aside (same
+//     name + ".quarantined"), logged, and reported as a miss, so the
+//     caller transparently recomputes the unit and overwrites it. A
+//     damaged checkpoint directory can degrade a resume back to a full
+//     run, but can never poison results or abort it.
+//
+// Keys are namespaced by a caller-chosen kind ("crawl", "fold", ...);
+// the key itself is stored inside the record and verified on read, so
+// filename sanitization can never alias two distinct units.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	magic = "PVCK1\n"
+	// maxRecordBytes bounds a single record (512 MiB) so a corrupt
+	// length prefix cannot drive a huge allocation.
+	maxRecordBytes = 512 << 20
+)
+
+// Store is a directory-backed checkpoint store. It is safe for
+// concurrent use; distinct units never contend.
+type Store struct {
+	dir string
+	// Logf receives one line per quarantined file (default log.Printf).
+	// Set it before the store is shared between goroutines.
+	Logf func(format string, args ...any)
+
+	quarantined atomic.Int64
+
+	mu       sync.Mutex
+	kindDirs map[string]bool // kinds whose directory exists
+}
+
+// Open creates (if needed) and opens a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir, kindDirs: make(map[string]bool)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Quarantined reports how many corrupt files this store has renamed
+// aside since it was opened.
+func (s *Store) Quarantined() int { return int(s.quarantined.Load()) }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// path returns the record file for (kind, key): a sanitized, truncated
+// key prefix for human eyes plus a key-hash suffix for uniqueness.
+func (s *Store) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	if len(safe) > 48 {
+		safe = safe[:48]
+	}
+	name := fmt.Sprintf("%s-%s.ckpt", safe, hex.EncodeToString(sum[:8]))
+	return filepath.Join(s.dir, kind, name)
+}
+
+func (s *Store) ensureKindDir(kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kindDirs[kind] {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, kind), 0o755); err != nil {
+		return fmt.Errorf("checkpoint: create kind dir %q: %w", kind, err)
+	}
+	s.kindDirs[kind] = true
+	return nil
+}
+
+// encode builds the record bytes: magic, length-prefixed key and
+// payload, SHA-256 trailer.
+func encode(key string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(magic) + 16 + len(key) + len(payload) + sha256.Size)
+	buf.WriteString(magic)
+	var frame [8]byte
+	binary.LittleEndian.PutUint64(frame[:], uint64(len(key)))
+	buf.Write(frame[:])
+	buf.WriteString(key)
+	binary.LittleEndian.PutUint64(frame[:], uint64(len(payload)))
+	buf.Write(frame[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// decode verifies a record and returns its key and payload.
+func decode(data []byte) (key string, payload []byte, err error) {
+	rest := data
+	if len(rest) < len(magic)+8 || string(rest[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("bad magic or truncated header")
+	}
+	body := len(data) - sha256.Size
+	if body < 0 {
+		return "", nil, fmt.Errorf("truncated checksum")
+	}
+	sum := sha256.Sum256(data[:body])
+	if !bytes.Equal(sum[:], data[body:]) {
+		return "", nil, fmt.Errorf("checksum mismatch")
+	}
+	rest = data[len(magic):body]
+	keyLen := binary.LittleEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if keyLen > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("key length %d exceeds record", keyLen)
+	}
+	key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	if len(rest) < 8 {
+		return "", nil, fmt.Errorf("truncated payload length")
+	}
+	payLen := binary.LittleEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if payLen != uint64(len(rest)) {
+		return "", nil, fmt.Errorf("payload length %d != %d remaining bytes", payLen, len(rest))
+	}
+	return key, rest, nil
+}
+
+// Put atomically stores the unit (kind, key): the record is written to
+// a temp file in the same directory, fsynced, and renamed into place.
+// An existing record for the key is replaced.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("checkpoint: put %s/%s: payload of %d bytes exceeds the record cap", kind, key, len(payload))
+	}
+	if err := s.ensureKindDir(kind); err != nil {
+		return err
+	}
+	target := s.path(kind, key)
+	tmp, err := os.CreateTemp(filepath.Dir(target), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: put %s/%s: %w", kind, key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encode(key, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: put %s/%s: %w", kind, key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: put %s/%s: sync: %w", kind, key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: put %s/%s: %w", kind, key, err)
+	}
+	if err := os.Rename(tmp.Name(), target); err != nil {
+		return fmt.Errorf("checkpoint: put %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Get retrieves the unit (kind, key). A missing unit returns
+// (nil, false, nil). A corrupt or truncated record — or one whose
+// embedded key does not match, i.e. a filename collision — is
+// quarantined (renamed to <file>.quarantined), logged, and reported as
+// a miss so the caller recomputes it; it never fails the run.
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+	p := s.path(kind, key)
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: get %s/%s: %w", kind, key, err)
+	}
+	if len(data) > maxRecordBytes {
+		s.quarantine(p, kind, key, fmt.Errorf("record of %d bytes exceeds the cap", len(data)))
+		return nil, false, nil
+	}
+	gotKey, payload, derr := decode(data)
+	if derr != nil {
+		s.quarantine(p, kind, key, derr)
+		return nil, false, nil
+	}
+	if gotKey != key {
+		s.quarantine(p, kind, key, fmt.Errorf("embedded key %q does not match", gotKey))
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+func (s *Store) quarantine(path, kind, key string, cause error) {
+	s.quarantined.Add(1)
+	qpath := path + ".quarantined"
+	if err := os.Rename(path, qpath); err != nil {
+		// Renaming aside failed (e.g. read-only dir): fall back to
+		// deleting so the bad record cannot shadow the recomputed unit.
+		os.Remove(path)
+		qpath = "(removed)"
+	}
+	s.logf("checkpoint: quarantined corrupt record %s/%s (%v) -> %s; the unit will be recomputed", kind, key, cause, qpath)
+}
+
+// PutJSON stores v as a JSON payload.
+func (s *Store) PutJSON(kind, key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s/%s: %w", kind, key, err)
+	}
+	return s.Put(kind, key, data)
+}
+
+// GetJSON retrieves the unit and unmarshals its JSON payload into v. A
+// payload that fails to unmarshal is treated like a corrupt record:
+// quarantined and reported as a miss.
+func (s *Store) GetJSON(kind, key string, v any) (bool, error) {
+	data, ok, err := s.Get(kind, key)
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		s.quarantine(s.path(kind, key), kind, key, fmt.Errorf("json: %w", err))
+		return false, nil
+	}
+	return true, nil
+}
+
+// Count reports how many (non-quarantined) records exist for a kind.
+func (s *Store) Count(kind string) int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			n++
+		}
+	}
+	return n
+}

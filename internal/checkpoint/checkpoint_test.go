@@ -1,0 +1,213 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = t.Logf
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t)
+	payload := []byte(`{"domain":"pharma1.example","pages":42}`)
+	if err := s.Put("crawl", "pharma1.example", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("crawl", "pharma1.example")
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v, want hit", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip mismatch: %q", got)
+	}
+	if _, ok, _ := s.Get("crawl", "other.example"); ok {
+		t.Fatal("Get of unknown key reported a hit")
+	}
+	if _, ok, _ := s.Get("fold", "pharma1.example"); ok {
+		t.Fatal("kinds are not namespaced: fold Get hit a crawl record")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s := openT(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Put("crawl", "d", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, _ := s.Get("crawl", "d")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("Get after overwrites = %q ok=%v, want v2", got, ok)
+	}
+	if n := s.Count("crawl"); n != 1 {
+		t.Fatalf("Count = %d, want 1 (overwrite must replace, not accumulate)", n)
+	}
+}
+
+// recordFile returns the single .ckpt file of a kind.
+func recordFile(t *testing.T, s *Store, kind string) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(s.Dir(), kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			return filepath.Join(s.Dir(), kind, e.Name())
+		}
+	}
+	t.Fatalf("no record file for kind %q", kind)
+	return ""
+}
+
+func TestBitFlipQuarantine(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("crawl", "dom", []byte("the payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	p := recordFile(t, s, "crawl")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the payload region.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := s.Get("crawl", "dom")
+	if err != nil {
+		t.Fatalf("corrupt record must be a miss, not an error: %v", err)
+	}
+	if ok {
+		t.Fatalf("bit-flipped record still returned payload %q", got)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s.Quarantined())
+	}
+	if _, err := os.Stat(p + ".quarantined"); err != nil {
+		t.Fatalf("corrupt file was not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still in place: %v", err)
+	}
+
+	// The unit is recomputable: a fresh Put lands and reads back.
+	if err := s.Put("crawl", "dom", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = s.Get("crawl", "dom")
+	if !ok || string(got) != "recomputed" {
+		t.Fatalf("recomputed record = %q ok=%v", got, ok)
+	}
+}
+
+func TestTruncationQuarantine(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("fold", "cv-seed1-fold2", []byte(strings.Repeat("x", 1000))); err != nil {
+		t.Fatal(err)
+	}
+	p := recordFile(t, s, "fold")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must be detected, including cutting into
+	// the header, the key, the payload and the checksum.
+	for _, keep := range []int{0, 3, len(magic) + 4, len(data) / 3, len(data) - 40, len(data) - 1} {
+		if err := os.WriteFile(p, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Get("fold", "cv-seed1-fold2"); ok || err != nil {
+			t.Fatalf("truncation to %d bytes: ok=%v err=%v, want quiet miss", keep, ok, err)
+		}
+		os.Remove(p + ".quarantined")
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	s := openT(t)
+	type unit struct {
+		Name  string
+		Score float64
+	}
+	if err := s.PutJSON("fold", "k", unit{Name: "f1", Score: 0.93}); err != nil {
+		t.Fatal(err)
+	}
+	var got unit
+	ok, err := s.GetJSON("fold", "k", &got)
+	if err != nil || !ok || got != (unit{Name: "f1", Score: 0.93}) {
+		t.Fatalf("GetJSON = %+v ok=%v err=%v", got, ok, err)
+	}
+
+	// A record whose bytes verify but whose payload is not the expected
+	// JSON is quarantined too.
+	if err := s.Put("fold", "bad", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = s.GetJSON("fold", "bad", &got)
+	if ok || err != nil {
+		t.Fatalf("GetJSON on non-JSON payload: ok=%v err=%v, want quiet miss", ok, err)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s.Quarantined())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openT(t)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("domain-%d.example", i)
+			if err := s.Put("crawl", key, []byte(key)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Count("crawl"); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("domain-%d.example", i)
+		got, ok, err := s.Get("crawl", key)
+		if err != nil || !ok || string(got) != key {
+			t.Fatalf("Get(%q) = %q ok=%v err=%v", key, got, ok, err)
+		}
+	}
+}
+
+func TestStrayTempFilesIgnored(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("crawl", "d", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put: a stray temp file in the kind dir.
+	stray := filepath.Join(s.Dir(), "crawl", ".tmp-123456")
+	if err := os.WriteFile(stray, []byte("half a reco"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("crawl", "d"); !ok || err != nil {
+		t.Fatalf("stray temp file broke Get: ok=%v err=%v", ok, err)
+	}
+	if n := s.Count("crawl"); n != 1 {
+		t.Fatalf("Count counted the temp file: %d", n)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
@@ -53,6 +55,16 @@ type ensembleMember struct {
 // (model fitting) and a hillclimb portion (greedy selection), as in
 // Caruana et al.
 func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, error) {
+	return EnsembleCVCtx(context.Background(), snap, cfg)
+}
+
+// EnsembleCVCtx is EnsembleCV with cooperative cancellation: the fold
+// fan-out and the per-fold library training both stop dispatching once
+// ctx is cancelled, drain, and surface ctx's error.
+func EnsembleCVCtx(ctx context.Context, snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	labels := snap.Labels()
 	names := snap.Domains()
@@ -70,7 +82,7 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 
 	// Folds are fully independent here — every random choice derives
 	// from cfg.Seed+fold — so they fan out without a pre-draw phase.
-	frs, err := parallel.MapErr(len(folds), cfg.Workers, func(f int) (eval.FoldResult, error) {
+	frs, err := parallel.MapErrCtx(ctx, len(folds), cfg.Workers, func(f int) (eval.FoldResult, error) {
 		trainIdx, testIdx := folds.TrainTest(f)
 
 		// Split training into build (2/3) and hillclimb (1/3).
@@ -102,7 +114,7 @@ func EnsembleCV(snap *dataset.Snapshot, cfg EnsembleConfig) (eval.CVResult, erro
 		kinds := []ClassifierKind{NBM, SVM, J48, MLP, NB}
 		// Library members are independent given the shared feature
 		// views, so they train concurrently too.
-		clfs, err := parallel.MapErr(len(members), cfg.Workers, func(m int) (ml.Classifier, error) {
+		clfs, err := parallel.MapErrCtx(ctx, len(members), cfg.Workers, func(m int) (ml.Classifier, error) {
 			clf, err := NewClassifier(kinds[m], cfg.Seed)
 			if err != nil {
 				return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -61,22 +62,47 @@ func (v *Verifier) Save(w io.Writer) error {
 }
 
 // LoadVerifier restores a verifier persisted with Save.
+//
+// Model files travel between machines (trained once, shipped to
+// reviewers), so corruption is an expected input, not a programming
+// error: truncated or bit-flipped files yield a descriptive error
+// naming the failing field and, for malformed JSON, the byte offset —
+// never a panic and never a silently half-restored model.
 func LoadVerifier(r io.Reader) (*Verifier, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read verifier: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: decode verifier: empty input (truncated model file?)")
+	}
 	var s verifierState
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("core: decode verifier: %w", err)
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, decodeError("verifier", err, len(data))
+	}
+	if s.TextKind == "" {
+		return nil, fmt.Errorf(`core: decode verifier: missing field "textKind" (truncated or foreign file?)`)
+	}
+	if len(s.Vocabulary) == 0 {
+		return nil, fmt.Errorf(`core: decode verifier: missing field "vocabulary"`)
+	}
+	if len(s.Text) == 0 {
+		return nil, fmt.Errorf(`core: decode verifier: missing field "text" (the %s text model)`, s.TextKind)
+	}
+	if len(s.Network) == 0 {
+		return nil, fmt.Errorf(`core: decode verifier: missing field "network" (the trust-score model)`)
 	}
 	vocab := &vectorize.Vocabulary{}
 	if err := json.Unmarshal(s.Vocabulary, vocab); err != nil {
-		return nil, err
+		return nil, decodeError(`field "vocabulary"`, err, len(data))
 	}
 	text, err := unmarshalClassifier(s.TextKind, s.Text)
 	if err != nil {
-		return nil, fmt.Errorf("core: restore text model: %w", err)
+		return nil, fmt.Errorf(`core: restore field "text" (%s model): %w`, s.TextKind, err)
 	}
 	network, err := unmarshalClassifier(NB, s.Network)
 	if err != nil {
-		return nil, fmt.Errorf("core: restore network model: %w", err)
+		return nil, fmt.Errorf(`core: restore field "network": %w`, err)
 	}
 	return &Verifier{
 		opts:          s.Options,
@@ -88,6 +114,28 @@ func LoadVerifier(r io.Reader) (*Verifier, error) {
 		seeds:         s.Seeds,
 		trainCrawl:    s.TrainCrawl,
 	}, nil
+}
+
+// decodeError turns encoding/json's errors into operator-facing ones
+// that name what failed and where (byte offset), and calls out the
+// classic truncation signature explicitly.
+func decodeError(what string, err error, size int) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		if int(syn.Offset) >= size {
+			return fmt.Errorf("core: decode %s: %v at byte %d of %d — the file appears truncated", what, err, syn.Offset, size)
+		}
+		return fmt.Errorf("core: decode %s: %v at byte %d of %d", what, err, syn.Offset, size)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		field := typ.Field
+		if field == "" {
+			field = "(top level)"
+		}
+		return fmt.Errorf("core: decode %s: field %q holds JSON %s, want %s (byte %d)", what, field, typ.Value, typ.Type, typ.Offset)
+	}
+	return fmt.Errorf("core: decode %s: %w", what, err)
 }
 
 func marshalClassifier(c ml.Classifier) (json.RawMessage, error) {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadVerifier feeds mutated model files to LoadVerifier: whatever
+// the corruption — truncation, bit flips, type confusion, hostile JSON
+// — loading must either fail with a descriptive error or produce a
+// verifier that can itself be saved again. It must never panic and
+// never half-restore.
+func FuzzLoadVerifier(f *testing.F) {
+	snap := testSnapshot(f, 1)
+	v, err := Train(snap, Options{Classifier: SVM, Terms: 100, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                  // truncated mid-record
+	f.Add(valid[:len(valid)-1])                  // missing final byte
+	f.Add([]byte{})                              // empty file
+	f.Add([]byte("{}"))                          // valid JSON, no fields
+	f.Add([]byte(`{"textKind":"SVM"}`))          // missing models
+	f.Add([]byte(`{"textKind":12,"text":"no"}`)) // type confusion
+	f.Add([]byte(`{"textKind":"NOPE","vocabulary":{},"text":{},"network":{}}`))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadVerifier(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("LoadVerifier returned both a verifier and an error")
+			}
+			return
+		}
+		// Whatever loaded must be self-consistent enough to re-save (a
+		// failed re-save is a legal rejection of a degenerate-but-
+		// parseable model, but it must not panic either).
+		var out bytes.Buffer
+		_ = got.Save(&out)
+
+		if bytes.Equal(data, valid) {
+			// The untouched model must round-trip bit-exactly.
+			if !bytes.Equal(out.Bytes(), valid) {
+				t.Fatal("save→load→save of the valid model is not idempotent")
+			}
+		}
+	})
+}
+
+func TestLoadVerifierDescriptiveErrors(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: SVM, Terms: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+		want []string // substrings the error must contain
+	}{
+		{"empty", nil, []string{"empty input"}},
+		{"truncated", valid[:len(valid)/2], []string{"truncated", "byte"}},
+		{"no-fields", []byte("{}"), []string{"textKind"}},
+		{"no-vocab", []byte(`{"textKind":"SVM"}`), []string{"vocabulary"}},
+		{"no-text", []byte(`{"textKind":"SVM","vocabulary":{}}`), []string{`"text"`, "SVM"}},
+		{"no-network", []byte(`{"textKind":"SVM","vocabulary":{},"text":{"w":[]}}`), []string{"network"}},
+		{"type-confusion", []byte(`{"textKind":["SVM"]}`), []string{"textKind", "ClassifierKind"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadVerifier(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt input loaded without error")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -77,9 +78,24 @@ var ErrNoTraining = errors.New("core: empty training snapshot")
 
 // Train builds a Verifier from a labeled snapshot.
 func Train(snap *dataset.Snapshot, opts Options) (*Verifier, error) {
+	return TrainCtx(context.Background(), snap, opts)
+}
+
+// TrainCtx is Train with cooperative cancellation, checked between the
+// training stages (vectorization, text-model fit, network scoring,
+// network-model fit). Cancellation returns ctx's error and no verifier;
+// the coarse stage granularity means the cancel latency is bounded by
+// one classifier fit.
+func TrainCtx(ctx context.Context, snap *dataset.Snapshot, opts Options) (*Verifier, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if snap.Len() == 0 {
 		return nil, ErrNoTraining
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	docs := snap.SubsampledTerms(opts.Terms, opts.Seed)
@@ -98,6 +114,9 @@ func Train(snap *dataset.Snapshot, opts Options) (*Verifier, error) {
 		ds = smp(ds, rand.New(rand.NewSource(opts.Seed+41)))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	text, err := NewClassifier(opts.Classifier, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -128,6 +147,9 @@ func Train(snap *dataset.Snapshot, opts Options) (*Verifier, error) {
 
 	// Network classifier trained on the training pharmacies' own trust
 	// scores.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	trainScores, err := NetworkScores(snap, v.seeds, opts.Network)
 	if err != nil {
 		return nil, err

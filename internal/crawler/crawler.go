@@ -19,9 +19,21 @@
 // retried. Every crawl reports its telemetry in Result.Stats, and the
 // FaultInjector wrapper provides a seeded flaky-world harness for
 // exercising all of this deterministically.
+//
+// # Cancellation
+//
+// CrawlCtx and CrawlAllCtx are the context-aware entry points: a
+// cancelled or expired context stops the crawl promptly — politeness
+// delays and backoff sleeps select on ctx.Done(), workers stop claiming
+// frontier work, and in-flight fetches are abandoned (fetchers that
+// implement CtxFetcher are cancelled; plain Fetchers have their result
+// discarded). An interrupted domain returns the pages collected so far
+// with Stats.Cancels set, so callers can tell a degraded partial crawl
+// from a complete one.
 package crawler
 
 import (
+	"context"
 	"errors"
 	"path"
 	"sort"
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"pharmaverify/internal/htmlx"
+	"pharmaverify/internal/parallel"
 )
 
 // DefaultMaxPages is the per-domain page cap from the paper.
@@ -48,6 +61,16 @@ type FetcherFunc func(domain, path string) (string, error)
 
 // Fetch calls f.
 func (f FetcherFunc) Fetch(domain, path string) (string, error) { return f(domain, path) }
+
+// CtxFetcher is the optional context-aware extension of Fetcher. When a
+// fetcher implements it, CrawlCtx passes its context (bounded by
+// Config.FetchTimeout) into every fetch so a cancelled crawl aborts the
+// underlying I/O instead of merely discarding its result. HTTPFetcher
+// implements it.
+type CtxFetcher interface {
+	Fetcher
+	FetchCtx(ctx context.Context, domain, path string) (html string, err error)
+}
 
 // Config controls a crawl.
 type Config struct {
@@ -138,7 +161,20 @@ func (r Result) Text() []string {
 // allows all; a robots.txt that stays unreachable through the retry
 // budget also allows all but is recorded in Stats.RobotsUnreachable.
 func Crawl(f Fetcher, domain string, cfg Config) Result {
+	return CrawlCtx(context.Background(), f, domain, cfg)
+}
+
+// CrawlCtx is Crawl with cooperative cancellation: when ctx is
+// cancelled or its deadline expires, politeness and backoff sleeps are
+// interrupted, no further pages are claimed, and the pages collected so
+// far are returned with Stats.Cancels set (unless the crawl had already
+// finished naturally). The cancel-to-return latency is bounded by one
+// in-flight fetch attempt — never by a backoff sleep.
+func CrawlCtx(ctx context.Context, f Fetcher, domain string, cfg Config) Result {
 	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	var (
 		mu sync.Mutex
@@ -148,13 +184,20 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 	// fetchRetry runs the full politeness + timeout + retry loop for
 	// one path. Counters are recorded under mu; robots.txt traffic goes
 	// to the dedicated robots counters so page attempts stay comparable
-	// to MaxPages.
+	// to MaxPages. Attempts abandoned because ctx was cancelled are not
+	// recorded at all: they are artifacts of the interruption, and the
+	// domain will be recrawled from scratch on resume.
 	fetchRetry := func(p string, robots bool) (html string, err error) {
 		for attempt := 1; ; attempt++ {
 			if cfg.Delay > 0 {
-				time.Sleep(cfg.Delay)
+				if err := sleepCtx(ctx, cfg.Delay); err != nil {
+					return "", err
+				}
 			}
-			html, err = fetchWithTimeout(f, domain, p, cfg.FetchTimeout)
+			html, err = fetchAttempt(ctx, f, domain, p, cfg.FetchTimeout)
+			if ctx.Err() != nil && isContextError(err) {
+				return "", ctx.Err()
+			}
 
 			mu.Lock()
 			if robots {
@@ -183,7 +226,12 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 				return html, err
 			}
 			if d := cfg.Retry.backoff(domain, p, attempt); d > 0 {
-				time.Sleep(d)
+				// A mid-backoff cancel returns within one timer tick
+				// instead of sleeping out the full (possibly multi-
+				// second) backoff.
+				if err := sleepCtx(ctx, d); err != nil {
+					return "", err
+				}
 			}
 		}
 	}
@@ -191,6 +239,10 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 	var robots *Robots
 	if !cfg.IgnoreRobots {
 		body, err := fetchRetry("/robots.txt", true)
+		if ctx.Err() != nil && isContextError(err) {
+			st.Cancels = 1
+			return Result{Domain: domain, Stats: st}
+		}
 		switch {
 		case err == nil:
 			robots = ParseRobots(body)
@@ -216,14 +268,38 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 		external    = map[string]bool{}
 		consecutive int // consecutive lost pages, for the breaker
 		tripped     bool
+		canceled    bool
+		aborted     int // fetches abandoned because ctx was cancelled
 		cond        = sync.NewCond(&mu)
 	)
+
+	// A context that is already dead must not race the watcher: without
+	// this check a worker could claim and fetch a page before the
+	// watcher goroutine ever runs.
+	if ctx.Err() != nil {
+		canceled = true
+	}
+
+	// The watcher wakes every worker blocked in cond.Wait when the
+	// context is cancelled; stopWatch releases it once the crawl ends so
+	// no goroutine outlives CrawlCtx.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			canceled = true
+			cond.Broadcast()
+			mu.Unlock()
+		case <-stopWatch:
+		}
+	}()
 
 	worker := func() {
 		for {
 			mu.Lock()
 			for {
-				if tripped {
+				if tripped || canceled {
 					mu.Unlock()
 					return
 				}
@@ -251,6 +327,15 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 
 			mu.Lock()
 			inFlight--
+			if ctx.Err() != nil && isContextError(err) {
+				// The attempt was cut off by cancellation, not by the
+				// site: the page is neither failed nor lost, the whole
+				// domain is simply incomplete.
+				aborted++
+				cond.Broadcast()
+				mu.Unlock()
+				continue
+			}
 			if err != nil {
 				st.PagesFailed++
 				consecutive++
@@ -292,6 +377,19 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 		}()
 	}
 	wg.Wait()
+	close(stopWatch)
+
+	// A cancel that raced the natural end of the crawl (empty frontier,
+	// nothing aborted, cap not the reason we stopped early) does not
+	// make the result partial. ctx.Err() is consulted directly — the
+	// workers may have drained through an aborted fetch before the
+	// watcher goroutine ever marked canceled — and mu is held because
+	// the watcher can still be writing the flag.
+	mu.Lock()
+	if (canceled || ctx.Err() != nil) && len(pages) < cfg.MaxPages && (len(frontier) > 0 || aborted > 0) {
+		st.Cancels = 1
+	}
+	mu.Unlock()
 
 	sort.Slice(pages, func(i, j int) bool { return pages[i].Path < pages[j].Path })
 	ext := make([]string, 0, len(external))
@@ -309,32 +407,36 @@ func Crawl(f Fetcher, domain string, cfg Config) Result {
 	}
 }
 
-// CrawlAll crawls many domains concurrently (parallel controls the
-// number of simultaneous domain crawls; 0 means 8) and returns results
-// keyed by domain. Aggregate the per-domain telemetry with
-// AggregateStats.
-func CrawlAll(f Fetcher, domains []string, cfg Config, parallel int) map[string]Result {
-	if parallel <= 0 {
-		parallel = 8
-	}
-	results := make(map[string]Result, len(domains))
-	var mu sync.Mutex
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for _, d := range domains {
-		wg.Add(1)
-		go func(domain string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			r := Crawl(f, domain, cfg)
-			<-sem
-			mu.Lock()
-			results[domain] = r
-			mu.Unlock()
-		}(d)
-	}
-	wg.Wait()
+// CrawlAll crawls many domains concurrently (workers controls the
+// number of simultaneous domain crawls; <= 0 uses the shared worker
+// default — parallel.SetDefault / PHARMAVERIFY_WORKERS, then
+// GOMAXPROCS) and returns results keyed by domain. Aggregate the
+// per-domain telemetry with AggregateStats.
+func CrawlAll(f Fetcher, domains []string, cfg Config, workers int) map[string]Result {
+	results, _ := CrawlAllCtx(context.Background(), f, domains, cfg, workers)
 	return results
+}
+
+// CrawlAllCtx is CrawlAll with cooperative cancellation. The domain
+// fan-out runs through the shared parallel engine, so it honors the
+// process-wide worker default. On cancellation no new domains are
+// started; domains already crawling return partial results with
+// Stats.Cancels set, unstarted domains are absent from the map, and
+// ctx's error is returned alongside whatever completed.
+func CrawlAllCtx(ctx context.Context, f Fetcher, domains []string, cfg Config, workers int) (map[string]Result, error) {
+	slots := make([]Result, len(domains))
+	started := make([]bool, len(domains))
+	err := parallel.ForCtx(ctx, len(domains), workers, func(i int) {
+		started[i] = true
+		slots[i] = CrawlCtx(ctx, f, domains[i], cfg)
+	})
+	results := make(map[string]Result, len(domains))
+	for i, r := range slots {
+		if started[i] {
+			results[r.Domain] = r
+		}
+	}
+	return results, err
 }
 
 // internalPath resolves a link found on the page at base against the

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,6 +27,13 @@ type HTTPFetcher struct {
 
 // Fetch implements Fetcher.
 func (h *HTTPFetcher) Fetch(domain, path string) (string, error) {
+	return h.FetchCtx(context.Background(), domain, path)
+}
+
+// FetchCtx implements CtxFetcher: the request carries ctx, so a
+// cancelled crawl aborts the connection instead of waiting out the
+// client timeout.
+func (h *HTTPFetcher) FetchCtx(ctx context.Context, domain, path string) (string, error) {
 	client := h.Client
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
@@ -41,7 +49,7 @@ func (h *HTTPFetcher) Fetch(domain, path string) (string, error) {
 	if !strings.HasPrefix(path, "/") {
 		path = "/" + path
 	}
-	req, err := http.NewRequest(http.MethodGet, scheme+"://"+domain+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, scheme+"://"+domain+path, nil)
 	if err != nil {
 		return "", fmt.Errorf("crawler: build request: %w", err)
 	}
@@ -73,4 +81,4 @@ func (h *HTTPFetcher) Fetch(domain, path string) (string, error) {
 	return string(body), nil
 }
 
-var _ Fetcher = (*HTTPFetcher)(nil)
+var _ CtxFetcher = (*HTTPFetcher)(nil)

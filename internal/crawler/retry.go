@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -123,11 +124,61 @@ func IsPermanent(err error) bool {
 // attempt exceeds Config.FetchTimeout.
 var ErrFetchTimeout = errors.New("crawler: fetch attempt timed out")
 
-// fetchWithTimeout runs one Fetch, bounding it by timeout when positive.
-// A timed-out fetch keeps running in its goroutine until the underlying
-// fetcher returns (the Fetcher interface carries no context), but its
-// result is discarded.
-func fetchWithTimeout(f Fetcher, domain, path string, timeout time.Duration) (string, error) {
+// sleepCtx sleeps for d or until ctx is cancelled, returning ctx's
+// error in the latter case. It is the interruptible replacement for
+// every politeness and backoff time.Sleep in the crawl path.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isContextError reports whether err is (or wraps) a context
+// cancellation or deadline error.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// fetchAttempt runs one Fetch, bounding it by timeout when positive and
+// by ctx always. Fetchers implementing CtxFetcher receive the bounded
+// context directly, so a cancelled crawl aborts the underlying I/O; a
+// plain Fetcher keeps running in its goroutine until it returns (the
+// interface carries no context), but its result is discarded.
+//
+// A per-attempt timeout surfaces as the transient ErrFetchTimeout (and
+// is retried); a cancellation of ctx itself surfaces as ctx's error.
+func fetchAttempt(ctx context.Context, f Fetcher, domain, path string, timeout time.Duration) (string, error) {
+	attemptCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	if cf, ok := f.(CtxFetcher); ok {
+		html, err := cf.FetchCtx(attemptCtx, domain, path)
+		if isContextError(err) {
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
+			return "", fmt.Errorf("%w: %s%s after %v", ErrFetchTimeout, domain, path, timeout)
+		}
+		return html, err
+	}
+
+	// Without a per-attempt timeout a plain Fetcher runs inline: the
+	// crawl's cancel latency is then bounded by one fetch attempt, and
+	// the hot synthetic-web path pays no per-fetch goroutine. Set
+	// Config.FetchTimeout to bound attempts against fetchers that can
+	// hang.
 	if timeout <= 0 {
 		return f.Fetch(domain, path)
 	}
@@ -140,12 +191,13 @@ func fetchWithTimeout(f Fetcher, domain, path string, timeout time.Duration) (st
 		html, err := f.Fetch(domain, path)
 		ch <- result{html, err}
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case r := <-ch:
 		return r.html, r.err
-	case <-timer.C:
+	case <-attemptCtx.Done():
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
 		return "", fmt.Errorf("%w: %s%s after %v", ErrFetchTimeout, domain, path, timeout)
 	}
 }

@@ -28,6 +28,17 @@ type Stats struct {
 	// and the crawl degraded to the pages collected so far (aggregated:
 	// the number of domains that tripped).
 	BreakerTrips int `json:"breakerTrips"`
+	// Cancels is 1 when this domain's crawl was interrupted by context
+	// cancellation or deadline expiry before finishing, degrading to the
+	// pages collected so far (aggregated: the number of interrupted
+	// domains). Interrupted domains are excluded from snapshots and
+	// checkpoints so a resumed run recomputes them from scratch.
+	Cancels int `json:"cancels,omitempty"`
+	// DomainsMissing is only set on aggregated stats: the number of
+	// planned domains that a cancelled snapshot build could not finish
+	// (interrupted mid-crawl or never started) — the shortfall of a
+	// partial snapshot.
+	DomainsMissing int `json:"domainsMissing,omitempty"`
 	// RobotsAttempts and RobotsFailures count /robots.txt traffic.
 	RobotsAttempts int `json:"robotsAttempts"`
 	RobotsFailures int `json:"robotsFailures"`
@@ -48,6 +59,8 @@ func (s *Stats) Add(o Stats) {
 	s.Timeouts += o.Timeouts
 	s.Bytes += o.Bytes
 	s.BreakerTrips += o.BreakerTrips
+	s.Cancels += o.Cancels
+	s.DomainsMissing += o.DomainsMissing
 	s.RobotsAttempts += o.RobotsAttempts
 	s.RobotsFailures += o.RobotsFailures
 	s.RobotsUnreachable = s.RobotsUnreachable || o.RobotsUnreachable

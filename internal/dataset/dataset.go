@@ -9,18 +9,22 @@
 package dataset
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
 	"sync"
 
+	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 	"pharmaverify/internal/textproc"
 	"pharmaverify/internal/trust"
 )
@@ -73,25 +77,75 @@ type Snapshot struct {
 // Build crawls every domain through the fetcher, preprocesses the text
 // (summarization + stop-word removal, no stemming) and extracts the
 // outbound endpoints. labels must contain every domain.
-func Build(name string, f crawler.Fetcher, domains []string, labels map[string]int, cfg crawler.Config, parallel int) (*Snapshot, error) {
-	return BuildWithAux(name, f, domains, labels, nil, cfg, parallel)
+func Build(name string, f crawler.Fetcher, domains []string, labels map[string]int, cfg crawler.Config, workers int) (*Snapshot, error) {
+	return BuildCtx(context.Background(), name, f, domains, labels, BuildOptions{Crawl: cfg, Workers: workers})
 }
 
 // BuildWithAux is Build plus a set of auxiliary non-pharmacy domains
 // whose outbound links are collected into Snapshot.Aux.
-func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[string]int, auxDomains []string, cfg crawler.Config, parallel int) (*Snapshot, error) {
+func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[string]int, auxDomains []string, cfg crawler.Config, workers int) (*Snapshot, error) {
+	return BuildCtx(context.Background(), name, f, domains, labels, BuildOptions{Crawl: cfg, Workers: workers, Aux: auxDomains})
+}
+
+// BuildOptions configures a snapshot build.
+type BuildOptions struct {
+	// Crawl bounds each per-domain crawl.
+	Crawl crawler.Config
+	// Workers bounds the number of simultaneous domain crawls (<= 0
+	// uses the shared worker default: parallel.SetDefault /
+	// PHARMAVERIFY_WORKERS, then GOMAXPROCS).
+	Workers int
+	// Aux lists auxiliary non-pharmacy domains to crawl into
+	// Snapshot.Aux.
+	Aux []string
+	// Checkpoint, when non-nil, journals every completed domain crawl,
+	// so a build that is killed or deadlined restarts from the last
+	// finished domain: checkpointed domains are replayed from disk,
+	// only unfinished ones are re-fetched, and (for a deterministic
+	// fetcher) the resumed snapshot is byte-identical to an
+	// uninterrupted one. Corrupt journal entries are quarantined and
+	// recomputed.
+	Checkpoint *checkpoint.Store
+}
+
+// Checkpoint namespaces for the two crawl phases of a build.
+const (
+	crawlCheckpointKind    = "crawl"
+	crawlAuxCheckpointKind = "crawl-aux"
+)
+
+// BuildCtx is Build with cooperative cancellation, graceful degradation
+// and optional checkpointed resume. When ctx is cancelled or its
+// deadline expires mid-build, BuildCtx returns the partial snapshot
+// assembled from the domains whose crawls completed — the shortfall is
+// recorded in CrawlStats.DomainsMissing — together with ctx's error, so
+// callers can choose between using the degraded snapshot and resuming
+// the run. Interrupted domains are never included (and never
+// checkpointed): a resumed build recomputes them from scratch.
+func BuildCtx(ctx context.Context, name string, f crawler.Fetcher, domains []string, labels map[string]int, opts BuildOptions) (*Snapshot, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, d := range domains {
 		if _, ok := labels[d]; !ok {
 			return nil, fmt.Errorf("dataset: no label for domain %q", d)
 		}
 	}
-	results := crawler.CrawlAll(f, domains, cfg, parallel)
+	results, crawlErr := crawlCheckpointed(ctx, f, domains, opts, crawlCheckpointKind)
+	if crawlErr != nil && !isCancel(crawlErr) {
+		return nil, crawlErr
+	}
 	pre := textproc.NewPreprocessor()
-	stats := crawler.AggregateStats(results)
 
 	snap := &Snapshot{Name: name}
+	var stats crawler.Stats
 	for _, d := range domains {
-		r := results[d]
+		r, ok := results[d]
+		if !ok || r.Stats.Cancels != 0 {
+			stats.DomainsMissing++
+			continue
+		}
+		stats.Add(r.Stats)
 		summary := textproc.Summarize(r.Text())
 		snap.Pharmacies = append(snap.Pharmacies, Pharmacy{
 			Domain:   d,
@@ -105,12 +159,19 @@ func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[s
 		return snap.Pharmacies[i].Domain < snap.Pharmacies[j].Domain
 	})
 
-	if len(auxDomains) > 0 {
-		auxResults := crawler.CrawlAll(f, auxDomains, cfg, parallel)
-		auxStats := crawler.AggregateStats(auxResults)
-		stats.Add(auxStats)
-		for _, d := range auxDomains {
-			r := auxResults[d]
+	if len(opts.Aux) > 0 && crawlErr == nil {
+		var auxResults map[string]crawler.Result
+		auxResults, crawlErr = crawlCheckpointed(ctx, f, opts.Aux, opts, crawlAuxCheckpointKind)
+		if crawlErr != nil && !isCancel(crawlErr) {
+			return nil, crawlErr
+		}
+		for _, d := range opts.Aux {
+			r, ok := auxResults[d]
+			if !ok || r.Stats.Cancels != 0 {
+				stats.DomainsMissing++
+				continue
+			}
+			stats.Add(r.Stats)
 			snap.Aux = append(snap.Aux, AuxSite{
 				Domain:   d,
 				Outbound: trust.OutboundEndpoints(r.External, d),
@@ -118,9 +179,59 @@ func BuildWithAux(name string, f crawler.Fetcher, domains []string, labels map[s
 			})
 		}
 		sort.Slice(snap.Aux, func(i, j int) bool { return snap.Aux[i].Domain < snap.Aux[j].Domain })
+	} else if len(opts.Aux) > 0 {
+		// The pharmacy phase was already interrupted: every auxiliary
+		// domain is part of the shortfall.
+		stats.DomainsMissing += len(opts.Aux)
 	}
 	snap.CrawlStats = &stats
+	if crawlErr != nil {
+		return snap, crawlErr
+	}
 	return snap, nil
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// crawlCheckpointed fans the domain crawls out through the shared
+// parallel engine, replaying checkpointed domains from the journal and
+// journaling freshly completed ones. Interrupted crawls (Stats.Cancels
+// set) are never journaled.
+func crawlCheckpointed(ctx context.Context, f crawler.Fetcher, domains []string, opts BuildOptions, kind string) (map[string]crawler.Result, error) {
+	if opts.Checkpoint == nil {
+		return crawler.CrawlAllCtx(ctx, f, domains, opts.Crawl, opts.Workers)
+	}
+	ckpt := opts.Checkpoint
+	slots := make([]crawler.Result, len(domains))
+	have := make([]bool, len(domains))
+	putErrs := make([]error, len(domains))
+	cancelErr := parallel.ForCtx(ctx, len(domains), opts.Workers, func(i int) {
+		d := domains[i]
+		var r crawler.Result
+		if ok, err := ckpt.GetJSON(kind, d, &r); err == nil && ok && r.Domain == d && r.Stats.Cancels == 0 {
+			slots[i], have[i] = r, true
+			return
+		}
+		r = crawler.CrawlCtx(ctx, f, d, opts.Crawl)
+		if r.Stats.Cancels == 0 && ctx.Err() == nil {
+			putErrs[i] = ckpt.PutJSON(kind, d, r)
+		}
+		slots[i], have[i] = r, true
+	})
+	results := make(map[string]crawler.Result, len(domains))
+	for i, r := range slots {
+		if have[i] {
+			results[r.Domain] = r
+		}
+	}
+	for _, err := range putErrs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, cancelErr
 }
 
 // AuxOutbound returns auxiliary-domain → outbound endpoints.

@@ -1,9 +1,12 @@
 package eval
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
+	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/parallel"
 )
@@ -145,7 +148,23 @@ type CVOptions struct {
 	// (parallel.Workers); 1 forces a sequential run. Results are
 	// bit-identical at every worker count.
 	Workers int
+	// Checkpoint, when non-nil, journals every completed fold under
+	// CheckpointKey, and a later run with the same inputs and key skips
+	// straight to the stored FoldResult. Checkpointed and recomputed
+	// folds are interchangeable (the fold computation is deterministic
+	// given ds, seed and trainer), so a resumed CV is bit-identical to
+	// an uninterrupted one.
+	Checkpoint *checkpoint.Store
+	// CheckpointKey namespaces this CV run in the store. It must encode
+	// everything the fold results depend on (dataset identity,
+	// classifier, sampling, k, seed); reusing a key across different
+	// configurations replays the wrong folds. Empty disables
+	// checkpointing even when Checkpoint is set.
+	CheckpointKey string
 }
+
+// foldCheckpointKind is the checkpoint namespace for CV fold results.
+const foldCheckpointKind = "fold"
 
 // CrossValidate runs stratified k-fold cross-validation of the trainer
 // on ds. The sampler (if non-nil) is applied to each training split
@@ -169,17 +188,35 @@ func CrossValidate(ds *ml.Dataset, k int, seed int64, train Trainer, sample Samp
 // are therefore bit-identical to a sequential run of the historical
 // single-threaded loop.
 func CrossValidateOpts(ds *ml.Dataset, k int, seed int64, train Trainer, sample Sampler, opt CVOptions) (CVResult, error) {
+	return CrossValidateCtx(context.Background(), ds, k, seed, train, sample, opt)
+}
+
+// CrossValidateCtx is CrossValidateOpts with cooperative cancellation
+// and optional per-fold checkpointing. On cancellation it stops
+// dispatching folds, drains the in-flight ones (journaling them when a
+// checkpoint store is configured) and returns ctx's error; a subsequent
+// run with the same inputs and CVOptions.CheckpointKey resumes from the
+// completed folds.
+func CrossValidateCtx(ctx context.Context, ds *ml.Dataset, k int, seed int64, train Trainer, sample Sampler, opt CVOptions) (CVResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	folds := StratifiedKFold(ds, k, seed)
 	rng := rand.New(rand.NewSource(seed + 1))
 
 	// Pre-draw phase (sequential, fold order): consume the shared
-	// sampler stream exactly as the sequential loop did.
+	// sampler stream exactly as the sequential loop did. This phase must
+	// run in full even for a checkpoint-resumed CV — skipping a fold's
+	// draws would shift the stream of every later fold.
 	type foldInput struct {
 		trainSet *ml.Dataset
 		testIdx  []int
 	}
 	inputs := make([]foldInput, len(folds))
 	for f := range folds {
+		if err := ctx.Err(); err != nil {
+			return CVResult{}, err
+		}
 		trainIdx, testIdx := folds.TrainTest(f)
 		trainSet := ds.Subset(trainIdx)
 		if sample != nil {
@@ -188,8 +225,20 @@ func CrossValidateOpts(ds *ml.Dataset, k int, seed int64, train Trainer, sample 
 		inputs[f] = foldInput{trainSet: trainSet, testIdx: testIdx}
 	}
 
+	ckpt := opt.Checkpoint
+	if opt.CheckpointKey == "" {
+		ckpt = nil
+	}
+
 	// Fan-out phase: train and score folds concurrently.
-	frs, err := parallel.MapErr(len(folds), opt.Workers, func(f int) (FoldResult, error) {
+	frs, err := parallel.MapErrCtx(ctx, len(folds), opt.Workers, func(f int) (FoldResult, error) {
+		key := fmt.Sprintf("%s/%d-of-%d", opt.CheckpointKey, f, len(folds))
+		if ckpt != nil {
+			var fr FoldResult
+			if ok, err := ckpt.GetJSON(foldCheckpointKind, key, &fr); err == nil && ok {
+				return fr, nil
+			}
+		}
 		clf := train()
 		if err := clf.Fit(inputs[f].trainSet); err != nil {
 			return FoldResult{}, err
@@ -202,6 +251,11 @@ func CrossValidateOpts(ds *ml.Dataset, k int, seed int64, train Trainer, sample 
 			fr.Confusion.Observe(ds.Y[i], ml.PredictFromProb(p))
 		}
 		fr.AUC = AUC(fr.Scores, fr.Labels)
+		if ckpt != nil {
+			if err := ckpt.PutJSON(foldCheckpointKind, key, fr); err != nil {
+				return FoldResult{}, err
+			}
+		}
 		return fr, nil
 	})
 	if err != nil {

@@ -11,6 +11,7 @@
 package ensemble
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -76,6 +77,17 @@ var ErrEmptyLibrary = errors.New("ensemble: empty model library")
 
 // Fit trains the library and runs greedy forward selection.
 func (s *Selection) Fit(ds *ml.Dataset) error {
+	return s.FitCtx(context.Background(), ds)
+}
+
+// FitCtx is Fit with cooperative cancellation: library training stops
+// dispatching models once ctx is cancelled (in-flight fits drain) and
+// the greedy selection is skipped, leaving the selection unfitted and
+// returning ctx's error.
+func (s *Selection) FitCtx(ctx context.Context, ds *ml.Dataset) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(s.Library) == 0 {
 		return ErrEmptyLibrary
 	}
@@ -120,7 +132,7 @@ func (s *Selection) Fit(ds *ml.Dataset) error {
 		clf   ml.Classifier
 		probs []float64
 	}
-	lib, err := parallel.MapErr(len(s.Library), s.Workers, func(m int) (trained, error) {
+	lib, err := parallel.MapErrCtx(ctx, len(s.Library), s.Workers, func(m int) (trained, error) {
 		clf := s.Library[m].New()
 		if err := clf.Fit(build); err != nil {
 			return trained{}, err
@@ -141,6 +153,9 @@ func (s *Selection) Fit(ds *ml.Dataset) error {
 		probs[m] = t.probs
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.Bags > 1 {
 		s.selected = selectBagged(probs, hill.Y, initTop, maxRounds, metric, s.Bags, s.BagFraction, s.Seed)
 	} else {

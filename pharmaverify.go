@@ -31,8 +31,10 @@
 package pharmaverify
 
 import (
+	"context"
 	"io"
 
+	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
@@ -100,7 +102,23 @@ type (
 	// FaultInjector wraps any Fetcher with seeded transient/permanent
 	// failures and latency spikes, for resilience testing.
 	FaultInjector = crawler.FaultInjector
+	// BuildOptions configures a snapshot build: crawl bounds,
+	// parallelism, auxiliary domains and an optional checkpoint store
+	// for crash-safe resume.
+	BuildOptions = dataset.BuildOptions
+	// CheckpointStore journals completed units of work (domain crawls,
+	// CV folds) with atomic writes and checksummed records, so an
+	// interrupted run resumes from the last finished unit. Corrupt
+	// entries are quarantined and recomputed, never trusted.
+	CheckpointStore = checkpoint.Store
 )
+
+// OpenCheckpoint opens (creating if needed) a checkpoint store rooted
+// at dir. Pass it in BuildOptions.Checkpoint to make snapshot builds
+// resumable.
+func OpenCheckpoint(dir string) (*CheckpointStore, error) {
+	return checkpoint.Open(dir)
+}
 
 // NewFaultInjector wraps a fetcher with deterministic fault injection.
 func NewFaultInjector(inner Fetcher, cfg FaultConfig) *FaultInjector {
@@ -110,6 +128,13 @@ func NewFaultInjector(inner Fetcher, cfg FaultConfig) *FaultInjector {
 // Train builds a Verifier from a labeled snapshot.
 func Train(snap *Snapshot, opts Options) (*Verifier, error) {
 	return core.Train(snap, opts)
+}
+
+// TrainCtx is Train with cooperative cancellation, checked between the
+// training stages. A cancelled training returns ctx's error and no
+// verifier.
+func TrainCtx(ctx context.Context, snap *Snapshot, opts Options) (*Verifier, error) {
+	return core.TrainCtx(ctx, snap, opts)
 }
 
 // LoadVerifier restores a verifier persisted with (*Verifier).Save, so
@@ -153,4 +178,15 @@ func BuildSnapshotWithConfig(name string, f Fetcher, domains []string, labels ma
 // feed the network analysis — the paper's future-work extension (a).
 func BuildSnapshotWithAux(name string, f Fetcher, domains []string, labels map[string]int, auxDomains []string) (*Snapshot, error) {
 	return dataset.BuildWithAux(name, f, domains, labels, auxDomains, crawler.Config{}, 16)
+}
+
+// BuildSnapshotCtx is the fully-featured snapshot build: cooperative
+// cancellation, graceful degradation and optional checkpointed resume.
+// When ctx is cancelled or its deadline expires mid-build, it returns
+// the partial snapshot assembled from the completed domains (shortfall
+// in CrawlStats.DomainsMissing) together with ctx's error; with
+// BuildOptions.Checkpoint set, a rerun with the same inputs resumes
+// from the completed domains and produces a byte-identical snapshot.
+func BuildSnapshotCtx(ctx context.Context, name string, f Fetcher, domains []string, labels map[string]int, opts BuildOptions) (*Snapshot, error) {
+	return dataset.BuildCtx(ctx, name, f, domains, labels, opts)
 }
