@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pharmaverify/internal/bench"
+	"pharmaverify/internal/buildinfo"
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/parallel"
 )
@@ -39,8 +40,14 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		benchJSON = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("experiments"))
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the context: dataset builds and artifact
 	// regeneration stop at the next boundary instead of running to the

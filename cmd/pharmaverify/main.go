@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pharmaverify/internal/arff"
+	"pharmaverify/internal/buildinfo"
 	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/crawler"
@@ -49,6 +50,10 @@ func main() {
 	defer stop()
 
 	args := os.Args[1:]
+	if len(args) == 1 && (args[0] == "-version" || args[0] == "--version") {
+		fmt.Println(buildinfo.String("pharmaverify"))
+		return
+	}
 	// Global flags (before the subcommand): -workers bounds the shared
 	// worker pool (results do not depend on the value); -timeout puts a
 	// deadline on the whole invocation.
@@ -115,6 +120,7 @@ globals:
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] [-timeout D] <generate|classify|rank|stats> [flags]
+       pharmaverify -version
   generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
             [-retries N] [-failure-budget N] [-flaky RATE]   (resilient-crawl knobs)
             [-delay D] [-checkpoint DIR]                     (politeness / crash-safe resume)
@@ -339,7 +345,7 @@ func cmdClassify(ctx context.Context, args []string) error {
 				a.Domain, ml.ClassName(pred), a.TextProb, a.TrustScore)
 		}
 	}
-	fmt.Printf("classified %d pharmacies with %s\n", len(as), *clf)
+	fmt.Printf("classified %d pharmacies with %s\n", len(as), v.Options().Classifier)
 	fmt.Printf("accuracy=%.3f legitPrecision=%.3f legitRecall=%.3f illegitPrecision=%.3f illegitRecall=%.3f\n",
 		conf.Accuracy(), conf.PrecisionLegitimate(), conf.RecallLegitimate(),
 		conf.PrecisionIllegitimate(), conf.RecallIllegitimate())

@@ -1,0 +1,185 @@
+// Command pharmaverifyd is the online verification daemon: it loads a
+// trained model (from `pharmaverify train`) and serves on-demand
+// pharmacy verification over HTTP — crawl the domain, preprocess,
+// classify and rank while the caller waits.
+//
+// Endpoints:
+//
+//	POST /v1/verify   verify one domain or a batch (JSON body)
+//	GET  /healthz     liveness + build info
+//	GET  /readyz      readiness + served model fingerprint
+//	GET  /metrics     Prometheus text exposition
+//
+// Signals:
+//
+//	SIGHUP            hot-reload the model file (atomic swap; in-flight
+//	                  requests finish on the model they started with)
+//	SIGINT, SIGTERM   graceful shutdown: stop admitting, drain in-flight
+//	                  requests, exit 0
+//
+// Example session against a synthetic world:
+//
+//	pharmaverify generate -seed 7 -legit 12 -illegit 36 -out world.json
+//	pharmaverify train -in world.json -out model.json
+//	pharmaverifyd -model model.json -world-seed 7 -world-legit 12 -world-illegit 36 &
+//	curl -s -d '{"domain":"some-pharmacy.com"}' localhost:8080/v1/verify
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pharmaverify/internal/buildinfo"
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/parallel"
+	"pharmaverify/internal/serve"
+	"pharmaverify/internal/webgen"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model file (required; from `pharmaverify train`). SIGHUP re-reads it.")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrently served requests (0 = PHARMAVERIFY_WORKERS, then GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "requests allowed to wait for a worker before shedding with 429")
+		cacheSize = flag.Int("cache", 1024, "verdict cache entries")
+		cacheTTL  = flag.Duration("cache-ttl", 15*time.Minute, "verdict freshness window")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline; client-requested timeouts are capped at twice this")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+
+		crawlPages    = flag.Int("crawl-pages", 50, "page cap of one on-demand crawl")
+		crawlAttempts = flag.Int("crawl-attempts", 150, "total fetch-attempt budget of one on-demand crawl (0 = unbounded)")
+		crawlRetries  = flag.Int("crawl-retries", 2, "fetch attempts per page")
+		crawlTimeout  = flag.Duration("crawl-fetch-timeout", 5*time.Second, "timeout of one fetch attempt")
+		crawlDelay    = flag.Duration("crawl-delay", 0, "politeness delay before every fetch (set ~200ms for live crawls)")
+		crawlBreaker  = flag.Int("crawl-failure-budget", 20, "consecutive lost pages before abandoning a domain (0 = off)")
+
+		worldSeed    = flag.Int64("world-seed", 0, "serve against a synthetic webgen world with this seed instead of live HTTP (tests, smoke)")
+		worldSnap    = flag.Int("world-snapshot", 1, "synthetic world crawl epoch")
+		worldLegit   = flag.Int("world-legit", 167, "synthetic world legitimate site count")
+		worldIllegit = flag.Int("world-illegit", 1292, "synthetic world illegitimate site count")
+
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("pharmaverifyd"))
+		return
+	}
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "pharmaverifyd: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*modelPath, *addr, serve.Config{
+		Crawl: crawler.Config{
+			MaxPages:      *crawlPages,
+			AttemptBudget: *crawlAttempts,
+			Retry:         crawler.RetryConfig{MaxAttempts: *crawlRetries},
+			FetchTimeout:  *crawlTimeout,
+			Delay:         *crawlDelay,
+			FailureBudget: *crawlBreaker,
+		},
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		DefaultTimeout: *timeout,
+	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadModel(path string) (*core.Verifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadVerifier(f)
+}
+
+func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, worldLegit, worldIllegit int, drain time.Duration) error {
+	if cfg.Workers > 0 {
+		parallel.SetDefault(cfg.Workers)
+	}
+
+	model, err := loadModel(modelPath)
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+
+	if worldSeed > 0 {
+		cfg.Fetcher = webgen.Generate(webgen.Config{
+			Seed: worldSeed, Snapshot: worldSnap,
+			NumLegit: worldLegit, NumIllegit: worldIllegit,
+		})
+		logf("serving a synthetic world (seed %d, %d+%d sites)", worldSeed, worldLegit, worldIllegit)
+	} else {
+		cfg.Fetcher = &crawler.HTTPFetcher{UserAgent: "pharmaverify"}
+	}
+
+	srv, err := serve.New(model, cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logf("%s listening on %s, model %.12s (%s)",
+		buildinfo.String("pharmaverifyd"), ln.Addr(), srv.ModelFingerprint(), modelPath)
+
+	// SIGHUP hot-reloads the model file; SIGINT/SIGTERM begin the
+	// graceful drain. A failed reload keeps the old model serving — a
+	// bad deploy must never take a healthy daemon down.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("listener failed: %w", err)
+		case <-hup:
+			next, err := loadModel(modelPath)
+			if err != nil {
+				logf("SIGHUP reload failed, keeping model %.12s: %v", srv.ModelFingerprint(), err)
+				continue
+			}
+			old := srv.ModelFingerprint()
+			srv.SwapModel(next)
+			logf("SIGHUP reload: model %.12s -> %.12s", old, srv.ModelFingerprint())
+		case sig := <-term:
+			logf("%v: draining (grace %v)", sig, drain)
+			srv.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), drain)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				return fmt.Errorf("drain incomplete: %w", err)
+			}
+			logf("drained cleanly, exiting")
+			return nil
+		}
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pharmaverifyd: %s %s\n",
+		time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, args...))
+}

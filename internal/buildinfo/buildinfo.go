@@ -1,0 +1,65 @@
+// Package buildinfo identifies a pharmaverify binary: the release
+// version injected at link time plus whatever the Go toolchain embeds
+// (go version, VCS revision). All three executables expose it — the
+// CLIs via -version, the daemon additionally in /healthz — so an
+// operator can always tell which build produced a verdict.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release version, "dev" unless injected at link time:
+//
+//	go build -ldflags "-X pharmaverify/internal/buildinfo.Version=v1.2.3" ./...
+var Version = "dev"
+
+// Build describes one binary.
+type Build struct {
+	// Version is the linker-injected release version ("dev" otherwise).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit the binary was built from, when the
+	// toolchain embedded it (builds from a checkout; absent for plain
+	// `go run` of exported sources).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Info collects the build description of the running binary.
+func Info() Build {
+	b := Build{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+// String formats the build info as the conventional one-line -version
+// output for the named binary.
+func String(binary string) string {
+	b := Info()
+	s := fmt.Sprintf("%s %s (%s", binary, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", rev " + rev
+		if b.Dirty {
+			s += "-dirty"
+		}
+	}
+	return s + ")"
+}

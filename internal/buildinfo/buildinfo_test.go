@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInfoDefaults(t *testing.T) {
+	b := Info()
+	if b.Version == "" {
+		t.Error("Version must never be empty (defaults to dev)")
+	}
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", b.GoVersion)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := String("pharmaverifyd")
+	if !strings.HasPrefix(s, "pharmaverifyd ") {
+		t.Errorf("String() = %q, want binary-name prefix", s)
+	}
+	if !strings.Contains(s, Version) {
+		t.Errorf("String() = %q, missing version %q", s, Version)
+	}
+}

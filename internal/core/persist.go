@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,6 +106,7 @@ func LoadVerifier(r io.Reader) (*Verifier, error) {
 	if err != nil {
 		return nil, fmt.Errorf(`core: restore field "network": %w`, err)
 	}
+	sum := sha256.Sum256(data)
 	return &Verifier{
 		opts:          s.Options,
 		vocab:         vocab,
@@ -113,7 +116,22 @@ func LoadVerifier(r io.Reader) (*Verifier, error) {
 		trainOutbound: s.TrainOutbound,
 		seeds:         s.Seeds,
 		trainCrawl:    s.TrainCrawl,
+		// The model's identity is the digest of its persisted bytes —
+		// exactly what a fresh Save of this verifier would write again
+		// (save→load→save is byte-idempotent, see persist tests).
+		fp: hex.EncodeToString(sum[:]),
 	}, nil
+}
+
+// fingerprint digests a verifier's persisted form: the SHA-256 of the
+// exact bytes Save writes. Train uses it to stamp a new model's
+// identity without touching disk.
+func fingerprint(v *Verifier) (string, error) {
+	h := sha256.New()
+	if err := v.Save(h); err != nil {
+		return "", fmt.Errorf("core: fingerprint model: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // decodeError turns encoding/json's errors into operator-facing ones

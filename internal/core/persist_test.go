@@ -43,6 +43,53 @@ func TestVerifierSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFingerprintRoundTripStable(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: SVM, Terms: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := v.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("Fingerprint() = %q, want 64 hex chars", fp)
+	}
+
+	// Load(Save(v)) must report the same identity Train computed…
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVerifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Fingerprint(); got != fp {
+		t.Errorf("fingerprint changed across save/load: %s → %s", fp, got)
+	}
+
+	// …and so must a second round trip (byte-idempotent Save).
+	var buf2 bytes.Buffer
+	if err := restored.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadVerifier(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Fingerprint(); got != fp {
+		t.Errorf("fingerprint drifted on second round trip: %s → %s", fp, got)
+	}
+
+	// A differently configured model is a different identity.
+	v2, err := Train(snap, Options{Classifier: SVM, Terms: 250, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Fingerprint() == fp {
+		t.Error("distinct models share a fingerprint")
+	}
+}
+
 func TestLoadVerifierGarbage(t *testing.T) {
 	if _, err := LoadVerifier(bytes.NewBufferString("{oops")); err == nil {
 		t.Error("garbage must error")

@@ -56,7 +56,24 @@ type Verifier struct {
 	// when the snapshot predates crawl stats), kept so a shipped model
 	// records the health of the crawl it was trained on.
 	trainCrawl *crawler.Stats
+	// fp is the model's identity: the hex SHA-256 digest of its
+	// persisted (Save) form, set by Train and LoadVerifier.
+	fp string
 }
+
+// Fingerprint returns the hex SHA-256 digest of the verifier's
+// persisted form — the model's identity. Train computes it over the
+// bytes Save would write; LoadVerifier computes it over the bytes it
+// read, so a model keeps the same fingerprint across save/load round
+// trips. The serving layer keys verdict caches on it and surfaces it in
+// /readyz, so a hot-reloaded model is distinguishable from the one it
+// replaced.
+func (v *Verifier) Fingerprint() string { return v.fp }
+
+// Options returns the (defaulted) options the verifier was trained
+// with — loaded models report the classifier that actually trained
+// them, not whatever the caller's flags default to.
+func (v *Verifier) Options() Options { return v.opts }
 
 // Assessment is the verdict for one pharmacy.
 type Assessment struct {
@@ -163,6 +180,14 @@ func TrainCtx(ctx context.Context, snap *dataset.Snapshot, opts Options) (*Verif
 		return nil, err
 	}
 	v.netClf = netClf
+	// Fingerprint the freshly trained model. Serializing once more at
+	// train time is cheap next to the classifier fits, and it guarantees
+	// Train and LoadVerifier agree on the model's identity.
+	fp, err := fingerprint(v)
+	if err != nil {
+		return nil, err
+	}
+	v.fp = fp
 	return v, nil
 }
 

@@ -106,6 +106,16 @@ type Config struct {
 	// collected so far with Stats.BreakerTrips set. 0 disables the
 	// breaker.
 	FailureBudget int
+	// AttemptBudget caps the total page-fetch attempts of one crawl
+	// (0 = no cap). It is enforced at page-claim time — one attempt slot
+	// is reserved per in-flight page, and once recorded attempts plus
+	// reservations reach the budget no further pages are claimed. Pages
+	// already in flight still finish their remaining retries, so the
+	// hard ceiling is AttemptBudget + Workers×(Retry.MaxAttempts−1)
+	// attempts. The serving path uses this to bound the worst-case work
+	// a single on-demand verification can cost, independently of how
+	// link-rich the site turns out to be.
+	AttemptBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -306,8 +316,11 @@ func CrawlCtx(ctx context.Context, f Fetcher, domain string, cfg Config) Result 
 				// Claim work only while a page slot is free: the
 				// in-flight reservation guarantees the crawl never
 				// fetches (or retries) pages that could not be kept,
-				// and that len(pages) never exceeds MaxPages.
-				if len(frontier) > 0 && len(pages)+inFlight < cfg.MaxPages {
+				// and that len(pages) never exceeds MaxPages. The
+				// attempt budget reserves one attempt per in-flight
+				// page the same way.
+				if len(frontier) > 0 && len(pages)+inFlight < cfg.MaxPages &&
+					(cfg.AttemptBudget <= 0 || st.Attempts+inFlight < cfg.AttemptBudget) {
 					break
 				}
 				if inFlight == 0 {

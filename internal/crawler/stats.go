@@ -1,5 +1,7 @@
 package crawler
 
+import "sync"
+
 // Stats is the crawl telemetry for one domain (or, aggregated, for a
 // whole snapshot build). The page-fetch counters reconcile exactly:
 //
@@ -64,6 +66,46 @@ func (s *Stats) Add(o Stats) {
 	s.RobotsAttempts += o.RobotsAttempts
 	s.RobotsFailures += o.RobotsFailures
 	s.RobotsUnreachable = s.RobotsUnreachable || o.RobotsUnreachable
+}
+
+// Clone returns an independent copy of s, or nil for a nil receiver.
+// Stats holds only value fields today, so the copy is deep; callers
+// that hand per-crawl telemetry to long-lived consumers (the serving
+// daemon's process-wide counters, cached verdicts) must use Clone
+// rather than sharing the pointer, so later additions of reference
+// fields cannot introduce aliasing.
+func (s *Stats) Clone() *Stats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	return &c
+}
+
+// Aggregator accumulates per-crawl telemetry into process-wide
+// counters. It is safe for concurrent use: many requests can Add their
+// crawl's Stats while others read a consistent Snapshot — the
+// serving daemon's /metrics endpoint does exactly that.
+type Aggregator struct {
+	mu     sync.Mutex
+	total  Stats
+	crawls int
+}
+
+// Add accumulates one crawl's telemetry.
+func (a *Aggregator) Add(o Stats) {
+	a.mu.Lock()
+	a.total.Add(o)
+	a.crawls++
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated totals and the number of
+// crawls folded in so far.
+func (a *Aggregator) Snapshot() (total Stats, crawls int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return *a.total.Clone(), a.crawls
 }
 
 // AggregateStats sums the telemetry of a CrawlAll result set.

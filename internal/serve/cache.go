@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// verdictCache is the TTL + LRU verdict cache of the serving layer.
+// Keys are "modelFingerprint|domain" (see verdictKey), so a hot model
+// reload naturally invalidates every verdict of the previous model
+// without a flush — old entries simply stop being addressable and age
+// out of the LRU. The design mirrors internal/featcache (bounded entry
+// count, front-of-list = most recently used) with per-entry expiry on
+// top; singleflight lives one layer up in flightGroup, because the
+// serving path must distinguish a cache hit from a deduplicated crawl.
+type verdictCache struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	now     func() time.Time
+	order   *list.List
+	entries map[string]*list.Element
+
+	hits, misses, expiries, evictions uint64
+}
+
+type cacheEntry struct {
+	key    string
+	v      DomainVerdict
+	stored time.Time
+}
+
+// newVerdictCache builds a cache bounded to max entries whose verdicts
+// expire ttl after insertion. now is the clock (injectable for TTL
+// tests).
+func newVerdictCache(max int, ttl time.Duration, now func() time.Time) *verdictCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &verdictCache{
+		max:     max,
+		ttl:     ttl,
+		now:     now,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the fresh verdict cached under key. An expired entry is
+// removed and counts as a miss (recorded in expiries as well).
+func (c *verdictCache) get(key string) (DomainVerdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return DomainVerdict{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.now().Sub(e.stored) >= c.ttl {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.expiries++
+		c.misses++
+		return DomainVerdict{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return e.v, true
+}
+
+// put stores a verdict under key, evicting the least recently used
+// entry beyond the bound. Storing under an existing key refreshes both
+// the verdict and its TTL.
+func (c *verdictCache) put(key string, v DomainVerdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.v, e.stored = v, c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, v: v, stored: c.now()})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *verdictCache) stats() (hits, misses, expiries, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.expiries, c.evictions
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The serving metrics are rendered in the Prometheus text exposition
+// format with no external dependencies: three tiny primitives (counter,
+// labeled counter, histogram) plus a renderer. Everything is cheap
+// enough to sit on the request hot path — counters are a single atomic
+// add, histograms one short critical section.
+
+// counter is a monotonically increasing uint64.
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) inc()          { c.n.Add(1) }
+func (c *counter) add(d uint64)  { c.n.Add(d) }
+func (c *counter) value() uint64 { return c.n.Load() }
+
+// labelCounter is a counter family over the values of one label.
+type labelCounter struct {
+	mu   sync.Mutex
+	vals map[string]uint64
+}
+
+func (l *labelCounter) inc(label string) {
+	l.mu.Lock()
+	if l.vals == nil {
+		l.vals = make(map[string]uint64)
+	}
+	l.vals[label]++
+	l.mu.Unlock()
+}
+
+// snapshot returns the label values in sorted order with their counts,
+// so the rendered exposition is deterministic.
+func (l *labelCounter) snapshot() ([]string, []uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.vals))
+	for k := range l.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = l.vals[k]
+	}
+	return keys, counts
+}
+
+// histogram is a fixed-bucket Prometheus histogram.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []uint64  // len(bounds)+1, last = +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// durationBuckets covers 1 ms … 60 s, the plausible range of one
+// on-demand crawl-and-classify request.
+var durationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// metrics is the daemon's instrument set. Gauges (queue depth, cache
+// size, hit ratio) are not stored here — they are read from the live
+// components at render time, which keeps them impossible to desync.
+type metrics struct {
+	requests     *labelCounter // code: HTTP status of /v1/verify responses
+	domains      *labelCounter // outcome: cache_hit | crawled | deduped | error
+	verdicts     *labelCounter // verdict: legitimate | illegitimate
+	queueReject  counter
+	modelReloads counter
+	crawlSecs    *histogram
+	requestSecs  *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    &labelCounter{},
+		domains:     &labelCounter{},
+		verdicts:    &labelCounter{},
+		crawlSecs:   newHistogram(durationBuckets),
+		requestSecs: newHistogram(durationBuckets),
+	}
+}
+
+// writeCounter renders one unlabeled counter (or gauge, by type).
+func writeMetric(w io.Writer, name, help, typ string, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+}
+
+func writeLabelCounter(w io.Writer, name, help, label string, lc *labelCounter) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys, counts := lc.snapshot()
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, counts[i])
+	}
+}
+
+func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, n)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w, Workers: 2})
+
+	// Drive some traffic: one fresh verdict, one cache hit.
+	domain := pickDomain(t, true)
+	postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+
+	// Every metric family the acceptance criteria name must be present.
+	for _, want := range []string{
+		"pharmaverify_cache_hit_ratio ",
+		"pharmaverify_cache_hits_total 1",
+		"pharmaverify_queue_depth 0",
+		"pharmaverify_crawls_total 1",
+		`pharmaverify_requests_total{code="200"} 2`,
+		`pharmaverify_domains_total{outcome="cache_hit"} 1`,
+		`pharmaverify_domains_total{outcome="crawled"} 1`,
+		"pharmaverify_crawl_duration_seconds_count 1",
+		"pharmaverify_request_duration_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// Structural sanity: every sample line belongs to a family that was
+	// declared with # TYPE, and histogram buckets are cumulative.
+	types := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	var lastBucket uint64
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			types[parts[2]] = true
+			lastBucket = 0
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(base, suffix) && types[strings.TrimSuffix(base, suffix)] {
+				base = strings.TrimSuffix(base, suffix)
+			}
+		}
+		if !types[base] {
+			t.Errorf("sample %q has no # TYPE declaration", name)
+		}
+		if strings.Contains(line, "_bucket{") {
+			var v uint64
+			if _, err := fmtSscan(line, &v); err == nil {
+				if v < lastBucket {
+					t.Errorf("histogram buckets not cumulative at %q", line)
+				}
+				lastBucket = v
+			}
+		}
+	}
+}
+
+// fmtSscan parses the trailing integer of a sample line.
+func fmtSscan(line string, v *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0, io.EOF
+	}
+	var n uint64
+	for _, c := range line[i+1:] {
+		if c < '0' || c > '9' {
+			return 0, io.EOF
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.observe(v)
+	}
+	if h.n != 5 {
+		t.Errorf("n = %d, want 5", h.n)
+	}
+	want := []uint64{1, 2, 1, 1} // ≤0.1, ≤1, ≤10, +Inf
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.sum != 56.05 {
+		t.Errorf("sum = %v, want 56.05", h.sum)
+	}
+}
+
+func TestLabelCounterDeterministicOrder(t *testing.T) {
+	lc := &labelCounter{}
+	lc.inc("zebra")
+	lc.inc("alpha")
+	lc.inc("alpha")
+	keys, counts := lc.snapshot()
+	if len(keys) != 2 || keys[0] != "alpha" || keys[1] != "zebra" {
+		t.Fatalf("keys = %v, want sorted [alpha zebra]", keys)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [2 1]", counts)
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/textproc"
+	"pharmaverify/internal/trust"
+)
+
+// flightGroup deduplicates concurrent work for the same key: the first
+// caller becomes the leader and runs fn, every concurrent caller for
+// the same key blocks until the leader finishes and shares its result.
+// In the serving path the key is verdictKey(fingerprint, domain), so a
+// burst of requests for one uncached domain costs exactly one crawl.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	v    DomainVerdict
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, deduplicating concurrent calls. shared reports
+// whether the result came from another caller's execution. A follower
+// whose ctx expires stops waiting and returns ctx's error; the leader
+// itself is never interrupted by a follower's deadline.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (DomainVerdict, error)) (v DomainVerdict, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.v, true, c.err
+		case <-ctx.Done():
+			return DomainVerdict{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.v, false, c.err
+}
+
+// verdictKey is the cache and singleflight key: model identity plus
+// domain. Keying on the fingerprint keeps cached verdicts consistent
+// with fresh ones across hot reloads — a new model can never be served
+// a predecessor's verdict.
+func verdictKey(fingerprint, domain string) string {
+	return fingerprint + "|" + domain
+}
+
+// verifyDomain produces the verdict for one domain under one model
+// slot: verdict cache first, then singleflight-deduplicated on-demand
+// assessment. Errors are returned inside the verdict (Error field) so a
+// batch request reports per-domain failures without failing wholesale.
+func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain string, refresh bool) DomainVerdict {
+	key := verdictKey(slot.fingerprint, domain)
+	if !refresh {
+		if v, ok := s.cache.get(key); ok {
+			s.met.domains.inc("cache_hit")
+			v.Cached = true
+			return v
+		}
+	}
+	v, shared, err := s.flight.do(ctx, key, func() (DomainVerdict, error) {
+		v, err := s.assess(ctx, slot, domain)
+		if err == nil {
+			// Cache successful verdicts only — a transient crawl failure
+			// must not stick for a whole TTL. A refresh=true assessment
+			// also lands here, replacing any cached verdict: later cached
+			// reads are never staler than the freshest one served.
+			s.cache.put(key, v)
+		}
+		return v, err
+	})
+	switch {
+	case err != nil:
+		s.met.domains.inc("error")
+		return DomainVerdict{Domain: domain, Error: err.Error()}
+	case shared:
+		s.met.domains.inc("deduped")
+	default:
+		s.met.domains.inc("crawled")
+	}
+	return v
+}
+
+// assess runs the on-demand pipeline for one domain: crawl (bounded by
+// the per-request context and the server's crawl budget), preprocess
+// (summarize + stop-word removal, exactly the training-time pipeline),
+// then Verifier.Assess against the slot's model. The verdict is
+// self-contained — it owns a clone of its crawl telemetry — so it can
+// be cached and returned to many requests safely.
+func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (DomainVerdict, error) {
+	start := time.Now()
+	r := crawler.CrawlCtx(ctx, s.fetch, domain, s.cfg.Crawl)
+	s.met.crawlSecs.observe(time.Since(start).Seconds())
+	// Fold this request's telemetry into the process-wide counters
+	// (race-safe: Aggregator copies, the verdict gets its own clone).
+	s.agg.Add(r.Stats)
+
+	if r.Stats.Cancels != 0 {
+		return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted: %w", domain, ctx.Err())
+	}
+	if len(r.Pages) == 0 {
+		return DomainVerdict{}, fmt.Errorf("no pages crawled for %s (%d attempts, %d failed)",
+			domain, r.Stats.Attempts, r.Stats.Failures)
+	}
+
+	summary := textproc.Summarize(r.Text())
+	p := dataset.Pharmacy{
+		Domain:   domain,
+		Terms:    s.pre.Terms(summary),
+		Outbound: trust.OutboundEndpoints(r.External, domain),
+		Pages:    len(r.Pages),
+	}
+	a := slot.v.Assess([]dataset.Pharmacy{p})[0]
+
+	if a.Legitimate {
+		s.met.verdicts.inc("legitimate")
+	} else {
+		s.met.verdicts.inc("illegitimate")
+	}
+	return DomainVerdict{
+		Domain:      a.Domain,
+		Legitimate:  a.Legitimate,
+		Rank:        a.Rank,
+		TextProb:    a.TextProb,
+		TrustScore:  a.TrustScore,
+		NetworkProb: a.NetworkProb,
+		Pages:       len(r.Pages),
+		Crawl:       r.Stats.Clone(),
+	}, nil
+}

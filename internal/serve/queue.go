@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull is returned by admission.acquire when the bounded wait
+// queue is already at capacity — the backpressure signal the HTTP layer
+// turns into 429 + Retry-After. Shedding at admission time keeps the
+// daemon's latency bounded under overload: a request either starts
+// within the queue's worth of waiting or is rejected immediately,
+// instead of piling up unboundedly behind slow crawls.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the daemon's bounded admission control: `workers`
+// requests execute concurrently, up to `depth` more wait for a slot,
+// and everything beyond that is rejected. Exactness matters for the
+// backpressure contract (the 429 threshold must be deterministic, not
+// racy), so the waiting count is guarded by a mutex rather than
+// maintained as an approximate atomic.
+type admission struct {
+	slots chan struct{}
+
+	mu      sync.Mutex
+	waiting int
+	depth   int
+}
+
+func newAdmission(workers, depth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{slots: make(chan struct{}, workers), depth: depth}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It fails fast with errQueueFull when the queue is at
+// capacity, and with ctx's error when the caller's deadline expires
+// while still queued.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot admits the request without queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+
+	a.mu.Lock()
+	if a.waiting >= a.depth {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	a.waiting++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot claimed by acquire.
+func (a *admission) release() { <-a.slots }
+
+// queued reports the number of requests currently waiting for a slot.
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// inService reports the number of requests currently holding a slot.
+func (a *admission) inService() int { return len(a.slots) }

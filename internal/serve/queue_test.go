@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inService(); got != 2 {
+		t.Errorf("inService = %d, want 2", got)
+	}
+	// Both slots busy, zero queue depth: shed immediately.
+	if err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Errorf("acquire on full pool = %v, want errQueueFull", err)
+	}
+	a.release()
+	if err := a.acquire(context.Background()); err != nil {
+		t.Errorf("acquire after release = %v", err)
+	}
+}
+
+func TestAdmissionQueueThenAdmit(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- a.acquire(context.Background()) }()
+	// Wait for the waiter to register, then the queue is full.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Errorf("third acquire = %v, want errQueueFull", err)
+	}
+	a.release()
+	if err := <-admitted; err != nil {
+		t.Errorf("queued acquire = %v, want admission after release", err)
+	}
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	admitted := make(chan error, 1)
+	go func() { admitted <- a.acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-admitted; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled queued acquire = %v, want context.Canceled", err)
+	}
+	if a.queued() != 0 {
+		t.Errorf("queued = %d after cancel, want 0", a.queued())
+	}
+}

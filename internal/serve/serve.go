@@ -1,0 +1,470 @@
+// Package serve implements the online verification service: a
+// long-lived HTTP server that answers "is this pharmacy legitimate?"
+// for a URL a user is looking at *right now*, by running the full
+// on-demand pipeline — crawl the domain, preprocess the text, assess it
+// with a trained core.Verifier, rank the batch — while the user waits.
+// It is the consumer-facing deployment shape the batch pipeline feeds:
+// train offline, snapshot the model, serve it here.
+//
+// Production shape:
+//
+//   - Admission control: a bounded worker pool plus a bounded wait
+//     queue; beyond that, requests are shed with 429 + Retry-After so
+//     overload degrades into fast rejections, not unbounded latency.
+//   - Result caching: a TTL + LRU verdict cache keyed by (model
+//     fingerprint, domain); a model reload implicitly invalidates the
+//     previous model's verdicts.
+//   - Singleflight: concurrent requests for the same uncached domain
+//     share one crawl.
+//   - Per-request deadlines derived from the client's requested timeout
+//     capped by the server's maximum.
+//   - Hot model reload: SwapModel atomically replaces the verifier;
+//     in-flight requests finish on the model they started with.
+//   - Observability: /metrics in Prometheus text format (zero deps),
+//     /healthz (liveness + build info), /readyz (readiness + model
+//     identity).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pharmaverify/internal/buildinfo"
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/parallel"
+	"pharmaverify/internal/textproc"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Fetcher retrieves pages for on-demand crawls (required): a live
+	// crawler.HTTPFetcher in production, a webgen.World or any other
+	// deterministic Fetcher in tests.
+	Fetcher crawler.Fetcher
+	// Crawl is the per-request crawl budget template. The zero value is
+	// replaced by a serving-appropriate budget: MaxPages 50,
+	// AttemptBudget 150, 2 fetch attempts per page, 5 s fetch timeout,
+	// failure budget 20 — far tighter than the batch pipeline's
+	// paper-scale crawl, because a user is waiting.
+	Crawl crawler.Config
+	// Workers bounds concurrently served verify requests (<= 0: the
+	// shared parallel default — PHARMAVERIFY_WORKERS / SetDefault, then
+	// GOMAXPROCS). Batch requests additionally fan their domains out
+	// through internal/parallel under the same setting.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// Workers in service (default 64; negative: no waiting, shed
+	// immediately).
+	QueueDepth int
+	// CacheSize bounds the verdict cache (entries, default 1024).
+	CacheSize int
+	// CacheTTL is how long a verdict stays fresh (default 15 min).
+	CacheTTL time.Duration
+	// DefaultTimeout is the per-request deadline when the client does
+	// not ask for one (default 30 s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default
+	// 2×DefaultTimeout). The effective per-request deadline is
+	// min(client timeout, MaxTimeout), never more.
+	MaxTimeout time.Duration
+	// MaxBatch bounds the domains of one request (default 64).
+	MaxBatch int
+
+	// now is the clock, injectable for cache-TTL tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Crawl.MaxPages == 0 && c.Crawl.AttemptBudget == 0 && c.Crawl.Retry.MaxAttempts == 0 {
+		c.Crawl = crawler.Config{
+			MaxPages:      50,
+			AttemptBudget: 150,
+			Retry:         crawler.RetryConfig{MaxAttempts: 2},
+			FetchTimeout:  5 * time.Second,
+			FailureBudget: 20,
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 15 * time.Minute
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * c.DefaultTimeout
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// modelSlot is one loaded model: the verifier plus its precomputed
+// identity. Requests capture the whole slot once at admission, so a
+// concurrent SwapModel never mixes one model's verdicts with another's
+// fingerprint.
+type modelSlot struct {
+	v           *core.Verifier
+	fingerprint string
+	loaded      time.Time
+}
+
+// Server is the verification service. Construct with New, mount
+// Handler on an http.Server, swap models with SwapModel, and flip
+// SetDraining before shutting the listener down.
+type Server struct {
+	cfg    Config
+	fetch  crawler.Fetcher
+	pre    *textproc.Preprocessor
+	model  atomic.Pointer[modelSlot]
+	cache  *verdictCache
+	flight *flightGroup
+	adm    *admission
+	met    *metrics
+	agg    *crawler.Aggregator
+	start  time.Time
+
+	draining atomic.Bool
+}
+
+// New builds a Server around an initial trained model.
+func New(model *core.Verifier, cfg Config) (*Server, error) {
+	if model == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	if cfg.Fetcher == nil {
+		return nil, errors.New("serve: Config.Fetcher is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		fetch:  cfg.Fetcher,
+		pre:    textproc.NewPreprocessor(),
+		cache:  newVerdictCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
+		flight: newFlightGroup(),
+		adm:    newAdmission(parallel.Workers(cfg.Workers), cfg.QueueDepth),
+		met:    newMetrics(),
+		agg:    &crawler.Aggregator{},
+		start:  cfg.now(),
+	}
+	s.model.Store(&modelSlot{v: model, fingerprint: model.Fingerprint(), loaded: cfg.now()})
+	return s, nil
+}
+
+// SwapModel atomically replaces the served model (the SIGHUP hot-reload
+// path). In-flight requests keep the slot they captured at admission;
+// new requests see the new model immediately. The verdict cache needs
+// no flush — its keys embed the fingerprint.
+func (s *Server) SwapModel(v *core.Verifier) {
+	s.model.Store(&modelSlot{v: v, fingerprint: v.Fingerprint(), loaded: s.cfg.now()})
+	s.met.modelReloads.inc()
+}
+
+// ModelFingerprint reports the identity of the currently served model.
+func (s *Server) ModelFingerprint() string { return s.model.Load().fingerprint }
+
+// SetDraining flips the readiness state. While draining, /readyz
+// returns 503 (load balancers stop routing) and new verify requests are
+// rejected with 503; requests already admitted run to completion —
+// http.Server.Shutdown provides the actual wait.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// CrawlStats returns a copy of the process-wide crawl telemetry
+// aggregated over every on-demand crawl served so far, plus the crawl
+// count.
+func (s *Server) CrawlStats() (crawler.Stats, int) { return s.agg.Snapshot() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// VerifyRequest is the body of POST /v1/verify. Exactly one of Domain
+// (single lookup) or Domains (batch) must be set.
+type VerifyRequest struct {
+	Domain  string   `json:"domain,omitempty"`
+	Domains []string `json:"domains,omitempty"`
+	// TimeoutMs is the client's time budget; the server caps it at its
+	// configured maximum. 0 means the server default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Refresh bypasses the verdict cache (the verdict still refreshes
+	// the cache afterwards).
+	Refresh bool `json:"refresh,omitempty"`
+}
+
+// DomainVerdict is the verdict for one domain.
+type DomainVerdict struct {
+	Domain     string `json:"domain"`
+	Legitimate bool   `json:"legitimate"`
+	// Rank is the OPR legitimacy score (textProb + trustScore).
+	Rank        float64 `json:"rank"`
+	TextProb    float64 `json:"textProb"`
+	TrustScore  float64 `json:"trustScore"`
+	NetworkProb float64 `json:"networkProb"`
+	// Pages is the number of pages the on-demand crawl collected.
+	Pages int `json:"pages"`
+	// Cached reports that the verdict was served from the cache; Crawl
+	// is then the telemetry of the original crawl.
+	Cached bool           `json:"cached"`
+	Crawl  *crawler.Stats `json:"crawl,omitempty"`
+	// Error is set when this domain could not be assessed (the rest of
+	// a batch is unaffected).
+	Error string `json:"error,omitempty"`
+}
+
+// VerifyResponse is the body of a successful POST /v1/verify.
+type VerifyResponse struct {
+	// Model is the fingerprint of the model that produced the verdicts.
+	Model   string          `json:"model"`
+	Results []DomainVerdict `json:"results"`
+	// Ranking lists the successfully assessed domains most-legitimate
+	// first (the paper's OPR ordering over the request's batch).
+	Ranking []string `json:"ranking,omitempty"`
+}
+
+// errorBody is the JSON error envelope of non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	start := s.cfg.now()
+	code := http.StatusOK
+	defer func() {
+		s.met.requests.inc(fmt.Sprint(code))
+		s.met.requestSecs.observe(time.Since(start).Seconds())
+	}()
+
+	if r.Method != http.MethodPost {
+		code = http.StatusMethodNotAllowed
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, code, errorBody{Error: "use POST"})
+		return
+	}
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		writeJSON(w, code, errorBody{Error: "server is draining"})
+		return
+	}
+
+	var req VerifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorBody{Error: "malformed request: " + err.Error()})
+		return
+	}
+	domains, err := s.requestDomains(req)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorBody{Error: err.Error()})
+		return
+	}
+
+	// Admission: claim a worker slot or join the bounded queue. A full
+	// queue is the backpressure signal — reject immediately with a
+	// retry hint sized to the typical service time.
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.queueReject.inc()
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, code, errorBody{Error: "admission queue full, retry later"})
+			return
+		}
+		code = statusForCtxErr(err)
+		writeJSON(w, code, errorBody{Error: err.Error()})
+		return
+	}
+	defer s.adm.release()
+
+	// Per-request deadline: the client's budget capped by the server's,
+	// layered on the connection context so a disconnect still cancels
+	// the crawl.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// One model slot for the whole request: every domain of a batch is
+	// judged by the same model even if a reload lands mid-request.
+	slot := s.model.Load()
+
+	verdicts := make([]DomainVerdict, len(domains))
+	parallel.ForCtx(ctx, len(domains), s.cfg.Workers, func(i int) {
+		verdicts[i] = s.verifyDomain(ctx, slot, domains[i], req.Refresh)
+	})
+
+	resp := VerifyResponse{Model: slot.fingerprint, Results: verdicts}
+	if len(domains) > 1 {
+		resp.Ranking = rankDomains(verdicts)
+	}
+	writeJSON(w, code, resp)
+}
+
+// requestDomains validates and normalizes the request's domain list.
+func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
+	var domains []string
+	if req.Domain != "" {
+		domains = append(domains, req.Domain)
+	}
+	domains = append(domains, req.Domains...)
+	if len(domains) == 0 {
+		return nil, errors.New(`provide "domain" or "domains"`)
+	}
+	if len(domains) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch of %d exceeds the maximum of %d", len(domains), s.cfg.MaxBatch)
+	}
+	seen := make(map[string]bool, len(domains))
+	out := domains[:0]
+	for _, d := range domains {
+		d = strings.ToLower(strings.TrimSpace(d))
+		d = strings.TrimPrefix(d, "http://")
+		d = strings.TrimPrefix(d, "https://")
+		d = strings.TrimPrefix(d, "www.")
+		if i := strings.IndexByte(d, '/'); i >= 0 {
+			d = d[:i]
+		}
+		if d == "" {
+			return nil, errors.New("empty domain in request")
+		}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// rankDomains orders the batch's successful verdicts through
+// core.RankAssessments — the same total order the offline OPR pipeline
+// produces.
+func rankDomains(verdicts []DomainVerdict) []string {
+	as := make([]core.Assessment, 0, len(verdicts))
+	for _, v := range verdicts {
+		if v.Error != "" {
+			continue
+		}
+		as = append(as, core.Assessment{Domain: v.Domain, Rank: v.Rank})
+	}
+	ranked := core.RankAssessments(as)
+	out := make([]string, len(ranked))
+	for i, a := range ranked {
+		out[i] = a.Domain
+	}
+	return out
+}
+
+func statusForCtxErr(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+// handleHealthz is the liveness probe: the process is up. It also
+// reports build info and uptime, so `curl /healthz` identifies the
+// running binary.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	slot := s.model.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"build":         buildinfo.Info(),
+		"model":         slot.fingerprint,
+		"uptimeSeconds": int64(s.cfg.now().Sub(s.start).Seconds()),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 with the served model's
+// identity while accepting traffic, 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	slot := s.model.Load()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"model":  slot.fingerprint,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready",
+		"model":  slot.fingerprint,
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	writeLabelCounter(w, "pharmaverify_requests_total",
+		"Verify requests by HTTP status code.", "code", s.met.requests)
+	writeLabelCounter(w, "pharmaverify_domains_total",
+		"Domain verifications by outcome.", "outcome", s.met.domains)
+	writeLabelCounter(w, "pharmaverify_verdicts_total",
+		"Fresh verdicts by class.", "verdict", s.met.verdicts)
+
+	hits, misses, expiries, evictions := s.cache.stats()
+	writeMetric(w, "pharmaverify_cache_hits_total", "Verdict cache hits.", "counter", fmt.Sprint(hits))
+	writeMetric(w, "pharmaverify_cache_misses_total", "Verdict cache misses (including expiries).", "counter", fmt.Sprint(misses))
+	writeMetric(w, "pharmaverify_cache_expiries_total", "Verdict cache TTL expiries.", "counter", fmt.Sprint(expiries))
+	writeMetric(w, "pharmaverify_cache_evictions_total", "Verdict cache LRU evictions.", "counter", fmt.Sprint(evictions))
+	writeMetric(w, "pharmaverify_cache_entries", "Current verdict cache entries.", "gauge", fmt.Sprint(s.cache.len()))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	writeMetric(w, "pharmaverify_cache_hit_ratio", "Verdict cache hit ratio since start.", "gauge", formatFloat(ratio))
+
+	writeMetric(w, "pharmaverify_queue_depth", "Requests waiting for a worker slot.", "gauge", fmt.Sprint(s.adm.queued()))
+	writeMetric(w, "pharmaverify_inflight_requests", "Requests holding a worker slot.", "gauge", fmt.Sprint(s.adm.inService()))
+	writeMetric(w, "pharmaverify_queue_rejections_total", "Requests shed because the admission queue was full.", "counter", fmt.Sprint(s.met.queueReject.value()))
+	writeMetric(w, "pharmaverify_model_reloads_total", "Hot model reloads since start.", "counter", fmt.Sprint(s.met.modelReloads.value()))
+
+	st, crawls := s.agg.Snapshot()
+	writeMetric(w, "pharmaverify_crawls_total", "On-demand domain crawls.", "counter", fmt.Sprint(crawls))
+	writeMetric(w, "pharmaverify_crawl_attempts_total", "Page fetch attempts across all crawls.", "counter", fmt.Sprint(st.Attempts))
+	writeMetric(w, "pharmaverify_crawl_retries_total", "Page fetch retries across all crawls.", "counter", fmt.Sprint(st.Retries))
+	writeMetric(w, "pharmaverify_crawl_failures_total", "Failed page fetch attempts.", "counter", fmt.Sprint(st.Failures))
+	writeMetric(w, "pharmaverify_crawl_pages_failed_total", "Pages lost for good.", "counter", fmt.Sprint(st.PagesFailed))
+	writeMetric(w, "pharmaverify_crawl_timeouts_total", "Fetch attempts cut off by the fetch timeout.", "counter", fmt.Sprint(st.Timeouts))
+	writeMetric(w, "pharmaverify_crawl_breaker_trips_total", "Domains abandoned by the failure-budget breaker.", "counter", fmt.Sprint(st.BreakerTrips))
+	writeMetric(w, "pharmaverify_crawl_bytes_total", "HTML bytes fetched.", "counter", fmt.Sprint(st.Bytes))
+
+	writeHistogram(w, "pharmaverify_crawl_duration_seconds", "Wall time of one on-demand crawl.", s.met.crawlSecs)
+	writeHistogram(w, "pharmaverify_request_duration_seconds", "Wall time of one verify request.", s.met.requestSecs)
+}

@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/webgen"
+)
+
+// testWorld builds one small synthetic world plus a verifier trained on
+// its snapshot, shared across the test binary (training is the slow
+// part).
+var (
+	worldOnce sync.Once
+	world     *webgen.World
+	snap      *dataset.Snapshot
+	verifier  *core.Verifier
+)
+
+func testVerifier(t testing.TB) (*webgen.World, *dataset.Snapshot, *core.Verifier) {
+	t.Helper()
+	worldOnce.Do(func() {
+		world = webgen.Generate(webgen.Config{Seed: 11, NumLegit: 12, NumIllegit: 36, NetworkSize: 12})
+		var err error
+		snap, err = dataset.Build("serve-test", world, world.Domains(), world.Labels(), crawler.Config{}, 8)
+		if err != nil {
+			panic(err)
+		}
+		verifier, err = core.Train(snap, core.Options{Classifier: core.NBM, Seed: 11})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if verifier == nil {
+		t.Fatal("test verifier unavailable")
+	}
+	return world, snap, verifier
+}
+
+// pickDomain returns a domain of the requested class.
+func pickDomain(t testing.TB, legit bool) string {
+	t.Helper()
+	w, _, _ := testVerifier(t)
+	want := ml.Illegitimate
+	if legit {
+		want = ml.Legitimate
+	}
+	for d, label := range w.Labels() {
+		if label == want {
+			return d
+		}
+	}
+	t.Fatal("no domain of requested class")
+	return ""
+}
+
+// countingFetcher counts root-page fetches per domain — one per crawl,
+// so it measures how many crawls each domain cost.
+type countingFetcher struct {
+	inner crawler.Fetcher
+	mu    sync.Mutex
+	roots map[string]int
+}
+
+func newCountingFetcher(inner crawler.Fetcher) *countingFetcher {
+	return &countingFetcher{inner: inner, roots: make(map[string]int)}
+}
+
+func (c *countingFetcher) Fetch(domain, path string) (string, error) {
+	if path == "/" {
+		c.mu.Lock()
+		c.roots[domain]++
+		c.mu.Unlock()
+	}
+	return c.inner.Fetch(domain, path)
+}
+
+func (c *countingFetcher) rootFetches(domain string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roots[domain]
+}
+
+// gatedFetcher blocks every fetch until released, signalling arrival.
+type gatedFetcher struct {
+	inner   crawler.Fetcher
+	started chan string   // receives the domain of each arriving crawl fetch
+	release chan struct{} // closed (or fed) to let fetches proceed
+}
+
+func (g *gatedFetcher) Fetch(domain, path string) (string, error) {
+	select {
+	case g.started <- domain:
+	default:
+	}
+	<-g.release
+	return g.inner.Fetch(domain, path)
+}
+
+// fakeClock is an injectable, advanceable clock for TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	_, _, v := testVerifier(t)
+	s, err := New(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postVerify(t testing.TB, url string, req VerifyRequest) (int, VerifyResponse, http.Header) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr VerifyResponse
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &vr); err != nil {
+			t.Fatalf("bad response body %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, vr, resp.Header
+}
+
+func TestVerifyEndToEnd(t *testing.T) {
+	w, snapshot, v := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w, Workers: 4})
+
+	domain := pickDomain(t, true)
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK {
+		t.Fatalf("verify returned %d", code)
+	}
+	if resp.Model != v.Fingerprint() {
+		t.Errorf("response model %q, want served fingerprint %q", resp.Model, v.Fingerprint())
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(resp.Results))
+	}
+	got := resp.Results[0]
+	if got.Domain != domain || got.Error != "" {
+		t.Fatalf("unexpected verdict %+v", got)
+	}
+	if got.Pages == 0 || got.Crawl == nil || got.Crawl.Successes == 0 {
+		t.Errorf("verdict missing crawl telemetry: %+v", got)
+	}
+
+	// The on-demand pipeline must agree exactly with the offline one:
+	// the same domain assessed from the training snapshot's entry.
+	for _, p := range snapshot.Pharmacies {
+		if p.Domain != domain {
+			continue
+		}
+		want := v.Assess([]dataset.Pharmacy{p})[0]
+		if got.Legitimate != want.Legitimate || got.Rank != want.Rank || got.TextProb != want.TextProb {
+			t.Errorf("online verdict %+v disagrees with offline assessment %+v", got, want)
+		}
+	}
+}
+
+func TestVerifyBatchRanked(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w, Workers: 4})
+
+	legit, illegit := pickDomain(t, true), pickDomain(t, false)
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domains: []string{illegit, legit}})
+	if code != http.StatusOK {
+		t.Fatalf("verify returned %d", code)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	if len(resp.Ranking) != 2 {
+		t.Fatalf("ranking %v, want both domains", resp.Ranking)
+	}
+	// Results keep request order; ranking orders by decreasing score.
+	byDomain := map[string]DomainVerdict{}
+	for _, r := range resp.Results {
+		byDomain[r.Domain] = r
+	}
+	if byDomain[resp.Ranking[0]].Rank < byDomain[resp.Ranking[1]].Rank {
+		t.Errorf("ranking %v not in decreasing rank order", resp.Ranking)
+	}
+}
+
+func TestVerifyRejectsBadRequests(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w, MaxBatch: 2})
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"garbage", `{nope`, http.StatusBadRequest},
+		{"batch too large", `{"domains":["a.com","b.com","c.com"]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/verify = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSingleflightDedup is the acceptance-criteria witness: 64
+// concurrent requests for the same uncached domain must trigger exactly
+// one crawl. Run under -race in CI.
+func TestSingleflightDedup(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	counting := newCountingFetcher(w)
+	_, ts := newTestServer(t, Config{Fetcher: counting, Workers: 8, QueueDepth: 128})
+
+	domain := pickDomain(t, false)
+	const n = 64
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int32
+	)
+	verdicts := make([]VerifyResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], verdicts[i], _ = postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+			if codes[i] != http.StatusOK {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d of %d concurrent requests failed (codes %v)", failures.Load(), n, codes)
+	}
+	if got := counting.rootFetches(domain); got != 1 {
+		t.Fatalf("%d concurrent requests cost %d crawls, want exactly 1", n, got)
+	}
+	// Every response carries the same verdict.
+	first := verdicts[0].Results[0]
+	for i, vr := range verdicts {
+		r := vr.Results[0]
+		if r.Legitimate != first.Legitimate || r.Rank != first.Rank {
+			t.Fatalf("request %d got a different verdict: %+v vs %+v", i, r, first)
+		}
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	counting := newCountingFetcher(w)
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	s, ts := newTestServer(t, Config{
+		Fetcher: counting, Workers: 2, CacheTTL: time.Minute, now: clock.now,
+	})
+
+	domain := pickDomain(t, true)
+	if code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain}); code != 200 || vr.Results[0].Cached {
+		t.Fatalf("first lookup: code %d cached %v, want fresh 200", code, vr.Results[0].Cached)
+	}
+	if code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain}); code != 200 || !vr.Results[0].Cached {
+		t.Fatalf("second lookup within TTL: code %d cached %v, want cache hit", code, vr.Results[0].Cached)
+	}
+	if got := counting.rootFetches(domain); got != 1 {
+		t.Fatalf("cache hit still crawled: %d crawls", got)
+	}
+
+	clock.advance(2 * time.Minute)
+	if code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain}); code != 200 || vr.Results[0].Cached {
+		t.Fatalf("post-TTL lookup: code %d cached %v, want fresh re-crawl", code, vr.Results[0].Cached)
+	}
+	if got := counting.rootFetches(domain); got != 2 {
+		t.Fatalf("expired entry not re-crawled: %d crawls, want 2", got)
+	}
+	if _, _, expiries, _ := s.cache.stats(); expiries != 1 {
+		t.Errorf("expiries = %d, want 1", expiries)
+	}
+}
+
+func TestRefreshBypassesCache(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	counting := newCountingFetcher(w)
+	_, ts := newTestServer(t, Config{Fetcher: counting, Workers: 2})
+
+	domain := pickDomain(t, true)
+	postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain, Refresh: true})
+	if code != 200 || vr.Results[0].Cached {
+		t.Fatalf("refresh lookup: code %d cached %v, want fresh", code, vr.Results[0].Cached)
+	}
+	if got := counting.rootFetches(domain); got != 2 {
+		t.Fatalf("refresh did not re-crawl: %d crawls, want 2", got)
+	}
+}
+
+func TestQueueFullSheds429(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Fetcher: gate, Workers: 1, QueueDepth: -1})
+
+	domain := pickDomain(t, false)
+	errc := make(chan error, 1)
+	go func() {
+		code, _, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+		if code != http.StatusOK {
+			errc <- fmt.Errorf("gated request finished with %d", code)
+			return
+		}
+		errc <- nil
+	}()
+	// Wait until the first request holds the only worker slot (its
+	// crawl reached the fetcher).
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the fetcher")
+	}
+
+	code, _, hdr := postVerify(t, ts.URL, VerifyRequest{Domain: "other.example"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload request got %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	close(gate.release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	w, _, v := testVerifier(t)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	s, err := New(v, Config{Fetcher: gate, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := httptest.NewServer(s.Handler())
+	// Not using t.Cleanup(Close): the test closes it via the drain path.
+
+	domain := pickDomain(t, true)
+	type result struct {
+		code int
+		resp VerifyResponse
+	}
+	resc := make(chan result, 1)
+	go func() {
+		code, resp, _ := postVerify(t, httpSrv.URL, VerifyRequest{Domain: domain})
+		resc <- result{code, resp}
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the fetcher")
+	}
+
+	// Begin draining: readiness flips, new verify traffic is rejected…
+	s.SetDraining(true)
+	if resp, err := http.Get(httpSrv.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining /readyz = %d, want 503", resp.StatusCode)
+		}
+	}
+	if code, _, _ := postVerify(t, httpSrv.URL, VerifyRequest{Domain: "other.example"}); code != http.StatusServiceUnavailable {
+		t.Errorf("verify while draining = %d, want 503", code)
+	}
+
+	// …while the admitted request survives the drain and completes.
+	drained := make(chan struct{})
+	go func() {
+		httpSrv.Config.Shutdown(context.Background())
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate.release)
+	r := <-resc
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", r.code)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the last request drained")
+	}
+	httpSrv.Close()
+}
+
+func TestSwapModelHotReload(t *testing.T) {
+	w, snapshot, v := testVerifier(t)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	s, ts := newTestServer(t, Config{Fetcher: gate, Workers: 2})
+
+	fpOld := v.Fingerprint()
+	if got := s.ModelFingerprint(); got != fpOld {
+		t.Fatalf("initial fingerprint %q, want %q", got, fpOld)
+	}
+
+	// Admit a request on the old model and hold its crawl at the gate.
+	domain := pickDomain(t, true)
+	type result struct {
+		code int
+		resp VerifyResponse
+	}
+	resc := make(chan result, 1)
+	go func() {
+		code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+		resc <- result{code, resp}
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the fetcher")
+	}
+
+	// Reload: a differently configured model has a different identity.
+	v2, err := core.Train(snapshot, core.Options{Classifier: core.NBM, Terms: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Fingerprint() == fpOld {
+		t.Fatal("test needs two distinct models")
+	}
+	s.SwapModel(v2)
+	if got := s.ModelFingerprint(); got != v2.Fingerprint() {
+		t.Errorf("fingerprint after swap = %q, want %q", got, v2.Fingerprint())
+	}
+
+	// The in-flight request completes on the model it was admitted
+	// under — a reload never drops or corrupts admitted work.
+	close(gate.release)
+	r := <-resc
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request failed with %d across reload", r.code)
+	}
+	if r.resp.Model != fpOld {
+		t.Errorf("in-flight request served by model %q, want the pre-reload %q", r.resp.Model, fpOld)
+	}
+
+	// New requests are served by — and cached under — the new model.
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK || resp.Model != v2.Fingerprint() {
+		t.Errorf("post-reload request: code %d model %q, want 200 on %q", code, resp.Model, v2.Fingerprint())
+	}
+	if resp.Results[0].Cached {
+		t.Error("post-reload request served the old model's cached verdict")
+	}
+}
+
+func TestHealthzReadyz(t *testing.T) {
+	w, _, v := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Model  string `json:"model"`
+		Build  struct {
+			Version   string `json:"version"`
+			GoVersion string `json:"goVersion"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Model != v.Fingerprint() || health.Build.Version == "" {
+		t.Errorf("unexpected /healthz payload: %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Status string `json:"status"`
+		Model  string `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready.Status != "ready" || ready.Model != v.Fingerprint() {
+		t.Errorf("unexpected /readyz payload: %+v", ready)
+	}
+}
+
+func TestRequestDomainsNormalization(t *testing.T) {
+	w, _, v := testVerifier(t)
+	s, err := New(v, Config{Fetcher: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.requestDomains(VerifyRequest{Domains: []string{
+		"HTTPS://WWW.Example.COM/checkout?x=1", "example.com", " other.net ",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example.com", "other.net"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("requestDomains = %v, want %v", got, want)
+	}
+}
