@@ -49,6 +49,7 @@ func main() {
 		modelPath = flag.String("model", "", "trained model file (required; from `pharmaverify train`). SIGHUP re-reads it.")
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
 		workers   = flag.Int("workers", 0, "concurrently served requests (0 = PHARMAVERIFY_WORKERS, then GOMAXPROCS)")
+		batchWrk  = flag.Int("batch-workers", 4, "per-request fan-out of a batch's domains (crawl concurrency <= workers * batch-workers)")
 		queue     = flag.Int("queue", 64, "requests allowed to wait for a worker before shedding with 429")
 		cacheSize = flag.Int("cache", 1024, "verdict cache entries")
 		cacheTTL  = flag.Duration("cache-ttl", 15*time.Minute, "verdict freshness window")
@@ -90,6 +91,7 @@ func main() {
 			FailureBudget: *crawlBreaker,
 		},
 		Workers:        *workers,
+		BatchWorkers:   *batchWrk,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		CacheTTL:       *cacheTTL,

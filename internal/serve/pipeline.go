@@ -13,11 +13,19 @@ import (
 )
 
 // flightGroup deduplicates concurrent work for the same key: the first
-// caller becomes the leader and runs fn, every concurrent caller for
-// the same key blocks until the leader finishes and shares its result.
-// In the serving path the key is verdictKey(fingerprint, domain), so a
-// burst of requests for one uncached domain costs exactly one crawl.
+// caller becomes the leader and starts fn, every concurrent caller for
+// the same key blocks until fn finishes and shares its result. In the
+// serving path the key is verdictKey(fingerprint, domain), so a burst
+// of requests for one uncached domain costs exactly one crawl.
+//
+// fn runs on its own context — detached from the leader's request,
+// bounded only by the server's maximum timeout — so an impatient
+// leader (short deadline, dropped connection) cannot abort a crawl
+// that patient followers are still waiting on. Every caller, leader
+// included, waits under its own ctx and gives up individually.
 type flightGroup struct {
+	maxTimeout time.Duration
+
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
@@ -28,36 +36,42 @@ type flightCall struct {
 	err  error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+func newFlightGroup(maxTimeout time.Duration) *flightGroup {
+	return &flightGroup{maxTimeout: maxTimeout, calls: make(map[string]*flightCall)}
 }
 
 // do runs fn under key, deduplicating concurrent calls. shared reports
-// whether the result came from another caller's execution. A follower
-// whose ctx expires stops waiting and returns ctx's error; the leader
-// itself is never interrupted by a follower's deadline.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (DomainVerdict, error)) (v DomainVerdict, shared bool, err error) {
+// whether this caller joined a flight another caller started. A caller
+// whose ctx expires stops waiting and returns ctx's error; the flight
+// itself keeps running (and caching its result) for whoever remains.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (DomainVerdict, error)) (v DomainVerdict, shared bool, err error) {
 	g.mu.Lock()
-	if c, ok := g.calls[key]; ok {
+	c, ok := g.calls[key]
+	if !ok {
+		c = &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
 		g.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.v, true, c.err
-		case <-ctx.Done():
-			return DomainVerdict{}, true, ctx.Err()
-		}
+		go func() {
+			// Keep the leader's values (trace metadata) but not its
+			// cancellation; the server's MaxTimeout is the only bound.
+			runCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), g.maxTimeout)
+			defer cancel()
+			c.v, c.err = fn(runCtx)
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	} else {
+		g.mu.Unlock()
 	}
-	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
 
-	c.v, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.v, false, c.err
+	select {
+	case <-c.done:
+		return c.v, ok, c.err
+	case <-ctx.Done():
+		return DomainVerdict{}, ok, ctx.Err()
+	}
 }
 
 // verdictKey is the cache and singleflight key: model identity plus
@@ -81,7 +95,7 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 			return v
 		}
 	}
-	v, shared, err := s.flight.do(ctx, key, func() (DomainVerdict, error) {
+	v, shared, err := s.flight.do(ctx, key, func(ctx context.Context) (DomainVerdict, error) {
 		v, err := s.assess(ctx, slot, domain)
 		if err == nil {
 			// Cache successful verdicts only — a transient crawl failure
@@ -105,7 +119,7 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 }
 
 // assess runs the on-demand pipeline for one domain: crawl (bounded by
-// the per-request context and the server's crawl budget), preprocess
+// the flight's detached context and the server's crawl budget), preprocess
 // (summarize + stop-word removal, exactly the training-time pipeline),
 // then Verifier.Assess against the slot's model. The verdict is
 // self-contained — it owns a clone of its crawl telemetry — so it can

@@ -15,7 +15,9 @@
 //     fingerprint, domain); a model reload implicitly invalidates the
 //     previous model's verdicts.
 //   - Singleflight: concurrent requests for the same uncached domain
-//     share one crawl.
+//     share one crawl. The crawl runs detached from any single caller's
+//     deadline (bounded by MaxTimeout), so an impatient leader cannot
+//     fail patient followers.
 //   - Per-request deadlines derived from the client's requested timeout
 //     capped by the server's maximum.
 //   - Hot model reload: SwapModel atomically replaces the verifier;
@@ -56,9 +58,13 @@ type Config struct {
 	Crawl crawler.Config
 	// Workers bounds concurrently served verify requests (<= 0: the
 	// shared parallel default — PHARMAVERIFY_WORKERS / SetDefault, then
-	// GOMAXPROCS). Batch requests additionally fan their domains out
-	// through internal/parallel under the same setting.
+	// GOMAXPROCS).
 	Workers int
+	// BatchWorkers bounds the fan-out of one batch request's domains
+	// (default 4). Keeping it separate from — and much smaller than —
+	// Workers bounds total crawl concurrency at Workers × BatchWorkers;
+	// fanning batches out under Workers itself would square it.
+	BatchWorkers int
 	// QueueDepth bounds requests waiting for a worker slot beyond the
 	// Workers in service (default 64; negative: no waiting, shed
 	// immediately).
@@ -90,6 +96,9 @@ func (c Config) withDefaults() Config {
 			FetchTimeout:  5 * time.Second,
 			FailureBudget: 20,
 		}
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = 4
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
@@ -160,7 +169,7 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 		fetch:  cfg.Fetcher,
 		pre:    textproc.NewPreprocessor(),
 		cache:  newVerdictCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
-		flight: newFlightGroup(),
+		flight: newFlightGroup(cfg.MaxTimeout),
 		adm:    newAdmission(parallel.Workers(cfg.Workers), cfg.QueueDepth),
 		met:    newMetrics(),
 		agg:    &crawler.Aggregator{},
@@ -262,7 +271,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	defer func() {
 		s.met.requests.inc(fmt.Sprint(code))
-		s.met.requestSecs.observe(time.Since(start).Seconds())
+		s.met.requestSecs.observe(s.cfg.now().Sub(start).Seconds())
 	}()
 
 	if r.Method != http.MethodPost {
@@ -325,10 +334,25 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// judged by the same model even if a reload lands mid-request.
 	slot := s.model.Load()
 
+	// The fan-out is bounded by BatchWorkers, not Workers: this request
+	// already holds one of the Workers admission slots, so using Workers
+	// again here would let crawl concurrency reach Workers².
 	verdicts := make([]DomainVerdict, len(domains))
-	parallel.ForCtx(ctx, len(domains), s.cfg.Workers, func(i int) {
+	ctxErr := parallel.ForCtx(ctx, len(domains), s.cfg.BatchWorkers, func(i int) {
 		verdicts[i] = s.verifyDomain(ctx, slot, domains[i], req.Refresh)
 	})
+	if ctxErr != nil {
+		// The deadline (or a client disconnect) fired mid-batch: ForCtx
+		// skipped the not-yet-dispatched indices, leaving zero-value
+		// verdicts. Mark them as errors explicitly — a blank verdict
+		// must never read as a real "illegitimate" ruling.
+		for i := range verdicts {
+			if verdicts[i].Domain == "" {
+				s.met.domains.inc("error")
+				verdicts[i] = DomainVerdict{Domain: domains[i], Error: "not assessed: " + ctxErr.Error()}
+			}
+		}
+	}
 
 	resp := VerifyResponse{Model: slot.fingerprint, Results: verdicts}
 	if len(domains) > 1 {

@@ -295,6 +295,87 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 }
 
+// TestBatchDeadlineFillsSkippedDomains: when the per-request deadline
+// fires mid-batch, the domains the fan-out never dispatched must come
+// back as explicit per-domain errors — never as zero-value verdicts
+// that read like real "illegitimate" rulings for an empty domain.
+func TestBatchDeadlineFillsSkippedDomains(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Fetcher: gate, Workers: 2, BatchWorkers: 1})
+
+	// BatchWorkers=1 runs the batch sequentially: the first domain's
+	// crawl hangs at the gate until the 50 ms deadline fires, so the
+	// remaining two are never dispatched.
+	domains := []string{pickDomain(t, true), "b.example", "c.example"}
+	code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domains: domains, TimeoutMs: 50})
+	close(gate.release) // let the detached crawl finish
+
+	if code != http.StatusOK {
+		t.Fatalf("batch returned %d, want 200 with per-domain errors", code)
+	}
+	if len(vr.Results) != len(domains) {
+		t.Fatalf("got %d results, want %d", len(vr.Results), len(domains))
+	}
+	for i, r := range vr.Results {
+		if r.Domain != domains[i] {
+			t.Errorf("result %d domain %q, want %q (zero-value verdict leaked)", i, r.Domain, domains[i])
+		}
+		if r.Error == "" {
+			t.Errorf("result %d (%s) has no error after the deadline fired: %+v", i, domains[i], r)
+		}
+	}
+	if len(vr.Ranking) != 0 {
+		t.Errorf("ranking %v includes unassessed domains", vr.Ranking)
+	}
+}
+
+// TestFollowerSurvivesImpatientLeader: the singleflight crawl runs on a
+// context detached from the leader's request, so a leader with a tiny
+// deadline times out alone while a follower with budget left still gets
+// the verdict from the shared crawl.
+func TestFollowerSurvivesImpatientLeader(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Fetcher: gate, Workers: 2})
+
+	domain := pickDomain(t, true)
+	leaderc := make(chan VerifyResponse, 1)
+	go func() {
+		_, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain, TimeoutMs: 50})
+		leaderc <- vr
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the fetcher")
+	}
+
+	// The leader gives up at its deadline while its crawl is still gated.
+	lr := <-leaderc
+	if len(lr.Results) != 1 || lr.Results[0].Error == "" {
+		t.Fatalf("leader should have timed out, got %+v", lr.Results)
+	}
+
+	// A follower with the default (generous) budget joins the same
+	// flight — the entry stays registered while the crawl is gated —
+	// and must receive the real verdict once the crawl completes.
+	followc := make(chan VerifyResponse, 1)
+	go func() {
+		_, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+		followc <- vr
+	}()
+	time.Sleep(50 * time.Millisecond) // let the follower join the flight
+	close(gate.release)
+	fr := <-followc
+	if len(fr.Results) != 1 || fr.Results[0].Error != "" {
+		t.Fatalf("follower failed despite remaining budget: %+v", fr.Results)
+	}
+	if fr.Results[0].Pages == 0 {
+		t.Errorf("follower verdict missing crawl results: %+v", fr.Results[0])
+	}
+}
+
 func TestCacheTTLExpiry(t *testing.T) {
 	w, _, _ := testVerifier(t)
 	counting := newCountingFetcher(w)
