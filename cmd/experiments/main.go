@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"pharmaverify/internal/buildinfo"
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/parallel"
+	"pharmaverify/internal/prof"
 )
 
 func main() {
@@ -39,7 +41,11 @@ func main() {
 		format    = flag.String("format", "text", "output format: text or markdown")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
-		benchJSON = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
+		benchJSON   = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
+		kernelCheck = flag.String("bench-kernel-check", "", "re-run the feature-kernel micro-benchmarks and exit non-zero if they regressed against this baseline report (e.g. BENCH_evaluation.json)")
+		kernelTol   = flag.Float64("bench-tolerance", 1.5, "tolerance band for -bench-kernel-check: current speedup may be down to baseline/tol")
+		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -48,6 +54,22 @@ func main() {
 		fmt.Println(buildinfo.String("experiments"))
 		return
 	}
+
+	stopCPU, err := prof.StartCPU(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	// fatal() exits without unwinding, so profile flushing hangs off it
+	// too: a failed or cancelled run still leaves usable profiles.
+	flushProfiles = func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		if err := prof.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}
+	defer flushProfiles()
 
 	// SIGINT/SIGTERM cancel the context: dataset builds and artifact
 	// regeneration stop at the next boundary instead of running to the
@@ -62,6 +84,30 @@ func main() {
 
 	if *workers > 0 {
 		parallel.SetDefault(*workers)
+	}
+
+	// The kernel micro-benchmarks run on a fixed synthetic workload and
+	// need no dataset Env, so the regression check stays fast enough for
+	// a per-commit CI job.
+	if *kernelCheck != "" {
+		data, err := os.ReadFile(*kernelCheck)
+		if err != nil {
+			fatal(err)
+		}
+		var base bench.BenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parse baseline %s: %w", *kernelCheck, err))
+		}
+		cur := bench.RunKernelBenchmarks(0)
+		for _, k := range cur {
+			fmt.Printf("%-20s %10.0f ns/op naive %10.0f ns/op kernel (%5.2fx) %7.1f allocs/op naive %5.1f kernel identical=%v\n",
+				k.ID, k.NaiveNSOp, k.KernelNSOp, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)
+		}
+		if err := bench.CheckKernelRegression(cur, base.Kernels, *kernelTol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kernel regression check passed against %s (tolerance %.2f)\n", *kernelCheck, *kernelTol)
+		return
 	}
 
 	if *list {
@@ -135,6 +181,10 @@ func main() {
 			time.Duration(rep.TotalSequentialNS).Round(time.Millisecond),
 			time.Duration(rep.TotalParallelNS).Round(time.Millisecond),
 			rep.TotalSpeedup, rep.Workers, rep.AllIdentical)
+		for _, k := range rep.Kernels {
+			fmt.Printf("kernel %-18s %.2fx faster, %.1f -> %.1f allocs/op, identical=%v\n",
+				k.ID, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)
+		}
 		return
 	}
 
@@ -175,8 +225,13 @@ func main() {
 	run(*r)
 }
 
+// flushProfiles stops the CPU profile and writes the heap profile, if
+// profiling was requested; set in main once the flags are parsed.
+var flushProfiles = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	flushProfiles()
 	if errors.Is(err, context.Canceled) {
 		os.Exit(130)
 	}

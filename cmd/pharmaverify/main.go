@@ -38,6 +38,7 @@ import (
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/parallel"
+	"pharmaverify/internal/prof"
 	"pharmaverify/internal/vectorize"
 	"pharmaverify/internal/webgen"
 )
@@ -56,8 +57,10 @@ func main() {
 	}
 	// Global flags (before the subcommand): -workers bounds the shared
 	// worker pool (results do not depend on the value); -timeout puts a
-	// deadline on the whole invocation.
+	// deadline on the whole invocation; -cpuprofile/-memprofile write
+	// runtime/pprof profiles covering the subcommand's work.
 	var cancelTimeout context.CancelFunc
+	var cpuProfile, memProfile string
 globals:
 	for len(args) >= 2 {
 		switch args[0] {
@@ -76,6 +79,10 @@ globals:
 			}
 			ctx, cancelTimeout = context.WithTimeout(ctx, d)
 			defer cancelTimeout()
+		case "-cpuprofile":
+			cpuProfile = args[1]
+		case "-memprofile":
+			memProfile = args[1]
 		default:
 			break globals
 		}
@@ -85,7 +92,11 @@ globals:
 		usage()
 		os.Exit(2)
 	}
-	var err error
+	stopCPU, err := prof.StartCPU(cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pharmaverify:", err)
+		os.Exit(1)
+	}
 	switch args[0] {
 	case "generate":
 		err = cmdGenerate(ctx, args[1:])
@@ -108,6 +119,14 @@ globals:
 		usage()
 		os.Exit(2)
 	}
+	// Flush the profiles before the error-path exits below: a profiled
+	// run that fails (or is cancelled) still leaves usable profiles.
+	if perr := stopCPU(); perr != nil && err == nil {
+		err = perr
+	}
+	if perr := prof.WriteHeap(memProfile); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverify:", err)
 		if errors.Is(err, context.Canceled) {
@@ -119,7 +138,7 @@ globals:
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] [-timeout D] <generate|classify|rank|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pharmaverify [-workers N] [-timeout D] [-cpuprofile F] [-memprofile F] <generate|classify|rank|stats> [flags]
        pharmaverify -version
   generate  -seed N -snapshot 1|2 -legit N -illegit N -out FILE
             [-retries N] [-failure-budget N] [-flaky RATE]   (resilient-crawl knobs)

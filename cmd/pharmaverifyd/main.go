@@ -10,6 +10,9 @@
 //	GET  /readyz      readiness + served model fingerprint
 //	GET  /metrics     Prometheus text exposition
 //
+// With -pprof-addr set, the net/http/pprof handlers are additionally
+// served on that (separate) listener; profiling is off by default.
+//
 // Signals:
 //
 //	SIGHUP            hot-reload the model file (atomic swap; in-flight
@@ -31,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +66,8 @@ func main() {
 		crawlTimeout  = flag.Duration("crawl-fetch-timeout", 5*time.Second, "timeout of one fetch attempt")
 		crawlDelay    = flag.Duration("crawl-delay", 0, "politeness delay before every fetch (set ~200ms for live crawls)")
 		crawlBreaker  = flag.Int("crawl-failure-budget", 20, "consecutive lost pages before abandoning a domain (0 = off)")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = profiling disabled")
 
 		worldSeed    = flag.Int64("world-seed", 0, "serve against a synthetic webgen world with this seed instead of live HTTP (tests, smoke)")
 		worldSnap    = flag.Int("world-snapshot", 1, "synthetic world crawl epoch")
@@ -96,10 +102,33 @@ func main() {
 		CacheSize:      *cacheSize,
 		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
-	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain); err != nil {
+	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
 		os.Exit(1)
 	}
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listener,
+// never on the service mux: profiling stays opt-in (off unless
+// -pprof-addr is set) and unreachable from the serving port.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logf("pprof listening on %s (profiles at /debug/pprof/)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logf("pprof listener failed: %v", err)
+		}
+	}()
+	return nil
 }
 
 func loadModel(path string) (*core.Verifier, error) {
@@ -111,9 +140,14 @@ func loadModel(path string) (*core.Verifier, error) {
 	return core.LoadVerifier(f)
 }
 
-func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, worldLegit, worldIllegit int, drain time.Duration) error {
+func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, worldLegit, worldIllegit int, drain time.Duration, pprofAddr string) error {
 	if cfg.Workers > 0 {
 		parallel.SetDefault(cfg.Workers)
+	}
+	if pprofAddr != "" {
+		if err := servePprof(pprofAddr); err != nil {
+			return err
+		}
 	}
 
 	model, err := loadModel(modelPath)

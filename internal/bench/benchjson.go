@@ -52,6 +52,9 @@ type BenchReport struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	GoVersion  string       `json:"go_version"`
 	Entries    []BenchEntry `json:"entries"`
+	// Kernels are the single-pass feature-kernel micro-benchmarks
+	// (naive reference vs optimized path); see kernel.go.
+	Kernels []KernelEntry `json:"kernels"`
 	// Totals across all measured entries.
 	TotalSequentialNS int64   `json:"total_sequential_ns"`
 	TotalParallelNS   int64   `json:"total_parallel_ns"`
@@ -98,12 +101,15 @@ func benchLeg(base *Env, r Runner, workers int) (out []byte, ns int64, mallocs, 
 // RunBenchmark measures every listed runner twice — once with the
 // worker pool forced to 1 (the sequential baseline) and once with the
 // given parallel worker count — and reports wall time, allocations,
-// speedup, and whether the two rendered outputs are byte-identical.
+// speedup, and whether the two rendered outputs are byte-identical,
+// plus the feature-kernel micro-benchmarks (kernel.go).
 // ids selects runner IDs; nil means every runner in the registry.
-// workers <= 0 uses GOMAXPROCS for the parallel leg.
+// workers <= 0 uses the machine's CPU count for the parallel leg, so
+// the recorded numbers reflect an actually-parallel run even under a
+// capped GOMAXPROCS.
 func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.NumCPU()
 	}
 	var runners []Runner
 	if ids == nil {
@@ -158,6 +164,12 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 	}
 	if rep.TotalParallelNS > 0 {
 		rep.TotalSpeedup = float64(rep.TotalSequentialNS) / float64(rep.TotalParallelNS)
+	}
+	rep.Kernels = RunKernelBenchmarks(DefaultKernelBenchtime)
+	for _, k := range rep.Kernels {
+		if !k.Identical {
+			rep.AllIdentical = false
+		}
 	}
 	return rep, nil
 }

@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"pharmaverify/internal/ml"
+	"pharmaverify/internal/ngram"
+	"pharmaverify/internal/vectorize"
+)
+
+// KernelEntry records the micro-benchmark of one optimized feature
+// kernel against its naive reference implementation: nanoseconds and
+// heap allocations per operation for both paths, the resulting ratios,
+// and whether the two paths still produce bit-identical output on the
+// benchmark workload.
+type KernelEntry struct {
+	ID   string `json:"id"`
+	Desc string `json:"desc"`
+	// NaiveNSOp / KernelNSOp are nanoseconds per operation.
+	NaiveNSOp  float64 `json:"naive_ns_op"`
+	KernelNSOp float64 `json:"kernel_ns_op"`
+	// NaiveAllocsOp / KernelAllocsOp are heap allocations per operation
+	// (runtime.MemStats.Mallocs deltas over the timed loop).
+	NaiveAllocsOp  float64 `json:"naive_allocs_op"`
+	KernelAllocsOp float64 `json:"kernel_allocs_op"`
+	// Speedup is NaiveNSOp / KernelNSOp.
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is NaiveAllocsOp divided by KernelAllocsOp, with the
+	// kernel count clamped to at least 1 so a zero-allocation kernel
+	// yields a finite ratio.
+	AllocRatio float64 `json:"alloc_ratio"`
+	// Identical is true when the kernel path reproduced the naive path's
+	// output bit for bit on every workload input.
+	Identical bool `json:"identical"`
+}
+
+// DefaultKernelBenchtime is the per-measurement target used when
+// RunKernelBenchmarks is called with a non-positive benchtime. Kernel
+// regressions are judged by within-process ratios (Speedup,
+// AllocRatio), so a short window is enough.
+const DefaultKernelBenchtime = 100 * time.Millisecond
+
+// kernelSink defeats dead-code elimination of the benchmark bodies.
+var kernelSink float64
+
+// measureOp times f in growing batches until the batch wall time
+// reaches benchtime, returning nanoseconds and heap allocations per
+// call. Allocations are process-wide Mallocs deltas; the caller runs
+// single-goroutine so the numbers are attributable to f.
+func measureOp(benchtime time.Duration, f func()) (nsOp, allocsOp float64) {
+	f() // warmup: pools filled, caches primed, code paths jitted into icache
+	target := int64(benchtime)
+	iters := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := nowNS()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		ns := nowNS() - start
+		runtime.ReadMemStats(&after)
+		if ns >= target || iters >= 1<<24 {
+			return float64(ns) / float64(iters), float64(after.Mallocs-before.Mallocs) / float64(iters)
+		}
+		next := iters * 4
+		if ns > 0 {
+			next = int(float64(iters)*float64(target)/float64(ns)*1.2) + 1
+		}
+		if next <= iters {
+			next = iters * 2
+		}
+		iters = next
+	}
+}
+
+func finishKernelEntry(e *KernelEntry) {
+	if e.KernelNSOp > 0 {
+		e.Speedup = e.NaiveNSOp / e.KernelNSOp
+	}
+	ka := e.KernelAllocsOp
+	if ka < 1 {
+		ka = 1
+	}
+	e.AllocRatio = e.NaiveAllocsOp / ka
+}
+
+// kernelSeed fixes the synthetic workload; the micro-benchmarks need no
+// dataset Env, so `experiments -bench-kernel-check` runs in well under a
+// second.
+const kernelSeed = 424242
+
+// kernelWorkload is the shared synthetic corpus: a lexicon of random
+// words, document texts drawn from it, their prebuilt graphs, and the
+// two class graphs the serving path compares against.
+type kernelWorkload struct {
+	texts     []string
+	docGraphs []*ngram.Graph
+	legit     *ngram.Graph
+	illegit   *ngram.Graph
+
+	termDocs [][]string
+	vocab    *vectorize.Vocabulary
+}
+
+func newKernelWorkload() *kernelWorkload {
+	rng := rand.New(rand.NewSource(kernelSeed))
+	lexicon := make([]string, 400)
+	for i := range lexicon {
+		b := make([]byte, 3+rng.Intn(6))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		lexicon[i] = string(b)
+	}
+	text := func(words int) string {
+		var sb strings.Builder
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(lexicon[rng.Intn(len(lexicon))])
+		}
+		return sb.String()
+	}
+
+	w := &kernelWorkload{}
+	classDocs := func(n int) []*ngram.Graph {
+		gs := make([]*ngram.Graph, n)
+		for i := range gs {
+			gs[i] = ngram.FromDocument(text(150))
+		}
+		return gs
+	}
+	w.legit = ngram.MergeAll(classDocs(24))
+	w.illegit = ngram.MergeAll(classDocs(24))
+
+	w.texts = make([]string, 32)
+	w.docGraphs = make([]*ngram.Graph, len(w.texts))
+	for i := range w.texts {
+		w.texts[i] = text(150)
+		w.docGraphs[i] = ngram.FromDocument(w.texts[i])
+	}
+
+	train := make([][]string, 300)
+	for i := range train {
+		train[i] = strings.Fields(text(120))
+	}
+	w.vocab = vectorize.BuildVocabulary(train)
+	w.termDocs = make([][]string, 64)
+	for i := range w.termDocs {
+		w.termDocs[i] = strings.Fields(text(120))
+	}
+	return w
+}
+
+// naiveEight is the pre-kernel Compare path: the four standalone
+// similarity functions against each class, with NormalizedValue
+// recomputing Size and Value internally.
+func naiveEight(g, legit, illegit *ngram.Graph) [8]float64 {
+	return [8]float64{
+		ngram.ContainmentSimilarity(g, legit),
+		ngram.SizeSimilarity(g, legit),
+		ngram.ValueSimilarity(g, legit),
+		ngram.NormalizedValueSimilarity(g, legit),
+		ngram.ContainmentSimilarity(g, illegit),
+		ngram.SizeSimilarity(g, illegit),
+		ngram.ValueSimilarity(g, illegit),
+		ngram.NormalizedValueSimilarity(g, illegit),
+	}
+}
+
+func vectorsEqual(a, b ml.Vector) bool {
+	if len(a.Ind) != len(b.Ind) || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.Ind {
+		if a.Ind[i] != b.Ind[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunKernelBenchmarks measures the single-pass feature kernels against
+// their naive reference implementations on a fixed synthetic workload
+// and reports per-op time, allocations and byte-identity. benchtime <= 0
+// uses DefaultKernelBenchtime per measurement.
+func RunKernelBenchmarks(benchtime time.Duration) []KernelEntry {
+	if benchtime <= 0 {
+		benchtime = DefaultKernelBenchtime
+	}
+	w := newKernelWorkload()
+	var entries []KernelEntry
+
+	// Text to 8-feature vector against both classes: the path
+	// NGGFeatureDataset and the daemon's featurize stage take per
+	// document. Naive = FromDocument + the four standalone functions per
+	// class; kernel = pooled builder + single-pass CompareBoth.
+	{
+		e := KernelEntry{
+			ID:        "ngg-compare-both",
+			Desc:      "text -> 8 NGG features vs both class graphs (pooled builder + single pass vs FromDocument + 4 standalone functions x2)",
+			Identical: true,
+		}
+		for i, text := range w.texts {
+			want := naiveEight(w.docGraphs[i], w.legit, w.illegit)
+			got := ngram.DocFeatures(nil, text, w.legit, w.illegit)
+			for k := range want {
+				if got[k] != want[k] {
+					e.Identical = false
+				}
+			}
+		}
+		var i int
+		e.NaiveNSOp, e.NaiveAllocsOp = measureOp(benchtime, func() {
+			g := ngram.FromDocument(w.texts[i%len(w.texts)])
+			f := naiveEight(g, w.legit, w.illegit)
+			kernelSink += f[0]
+			i++
+		})
+		var j int
+		var buf []float64
+		e.KernelNSOp, e.KernelAllocsOp = measureOp(benchtime, func() {
+			buf = ngram.DocFeatures(buf, w.texts[j%len(w.texts)], w.legit, w.illegit)
+			kernelSink += buf[0]
+			j++
+		})
+		finishKernelEntry(&e)
+		entries = append(entries, e)
+	}
+
+	// Prebuilt graphs: isolates the single-traversal win of CompareBoth
+	// over eight standalone calls (which walk the document's edges about
+	// eight times between them). Neither path allocates, so only the
+	// time ratio is meaningful here.
+	{
+		e := KernelEntry{
+			ID:        "ngg-compare-graphs",
+			Desc:      "prebuilt graphs -> CompareBoth vs 4 standalone similarity functions x2 classes",
+			Identical: true,
+		}
+		for _, g := range w.docGraphs {
+			want := naiveEight(g, w.legit, w.illegit)
+			a, b := ngram.CompareBoth(g, w.legit, w.illegit)
+			got := [8]float64{a.CS, a.SS, a.VS, a.NVS, b.CS, b.SS, b.VS, b.NVS}
+			if got != want {
+				e.Identical = false
+			}
+		}
+		var i int
+		e.NaiveNSOp, e.NaiveAllocsOp = measureOp(benchtime, func() {
+			f := naiveEight(w.docGraphs[i%len(w.docGraphs)], w.legit, w.illegit)
+			kernelSink += f[0]
+			i++
+		})
+		var j int
+		e.KernelNSOp, e.KernelAllocsOp = measureOp(benchtime, func() {
+			a, b := ngram.CompareBoth(w.docGraphs[j%len(w.docGraphs)], w.legit, w.illegit)
+			kernelSink += a.CS + b.CS
+			j++
+		})
+		finishKernelEntry(&e)
+		entries = append(entries, e)
+	}
+
+	// Sparse TF-IDF vectorization: the scratch-buffer Vectorizer against
+	// the map-based Vocabulary.TFIDF, as on the daemon's request path.
+	{
+		e := KernelEntry{
+			ID:        "tfidf-sparse",
+			Desc:      "terms -> L2-normalized TF-IDF vector (scratch-buffer Vectorizer vs map-based Vocabulary.TFIDF)",
+			Identical: true,
+		}
+		z := vectorize.NewVectorizer(w.vocab)
+		for _, doc := range w.termDocs {
+			if !vectorsEqual(z.TFIDF(doc), w.vocab.TFIDF(doc)) {
+				e.Identical = false
+			}
+		}
+		var i int
+		var nv ml.Vector
+		e.NaiveNSOp, e.NaiveAllocsOp = measureOp(benchtime, func() {
+			nv = w.vocab.TFIDF(w.termDocs[i%len(w.termDocs)])
+			i++
+		})
+		if len(nv.Val) > 0 {
+			kernelSink += nv.Val[0]
+		}
+		var j int
+		var kv ml.Vector
+		e.KernelNSOp, e.KernelAllocsOp = measureOp(benchtime, func() {
+			kv = z.TFIDF(w.termDocs[j%len(w.termDocs)])
+			j++
+		})
+		if len(kv.Val) > 0 {
+			kernelSink += kv.Val[0]
+		}
+		finishKernelEntry(&e)
+		entries = append(entries, e)
+	}
+
+	return entries
+}
+
+// kernelFloors are the per-entry minimums enforced by
+// CheckKernelRegression regardless of what the baseline file claims —
+// the acceptance bars of the optimization itself. AllocRatio floors are
+// only meaningful for entries whose naive path allocates.
+// one map lookup per class per edge still pays the same per-lookup
+// cost as the ~6 lookups it replaces, so the prebuilt-graphs entry
+// lands near 2x rather than 6x; its floor is set below the measured
+// value, not at the optimization's headline bar.
+var kernelFloors = map[string]struct{ speedup, allocRatio float64 }{
+	"ngg-compare-both":   {speedup: 2.0, allocRatio: 2.0},
+	"ngg-compare-graphs": {speedup: 1.5},
+	"tfidf-sparse":       {speedup: 1.0, allocRatio: 2.0},
+}
+
+// CheckKernelRegression compares a fresh kernel run against the
+// checked-in baseline. Absolute ns/op is not portable across machines,
+// so the check is ratio-based: each entry must stay byte-identical,
+// keep its within-process Speedup above both its hard floor and
+// baseline/tol, keep AllocRatio above its floor, and not grow its
+// per-op kernel allocation count beyond baseline*tol+2 (allocation
+// counts, unlike times, are nearly machine-independent). tol is the
+// tolerance band, e.g. 1.5; values below 1 are clamped to 1.
+func CheckKernelRegression(cur, base []KernelEntry, tol float64) error {
+	if tol < 1 {
+		tol = 1
+	}
+	if len(base) == 0 {
+		return errors.New("bench: baseline has no kernel entries (regenerate with `experiments -bench-json`)")
+	}
+	byID := make(map[string]KernelEntry, len(cur))
+	for _, e := range cur {
+		byID[e.ID] = e
+	}
+	for _, b := range base {
+		c, ok := byID[b.ID]
+		if !ok {
+			return fmt.Errorf("bench: kernel entry %q missing from current run", b.ID)
+		}
+		if !c.Identical {
+			return fmt.Errorf("bench: kernel %s: output no longer bit-identical to the naive reference", b.ID)
+		}
+		fl := kernelFloors[b.ID]
+		if c.Speedup < fl.speedup {
+			return fmt.Errorf("bench: kernel %s: speedup %.2fx below the %.1fx floor", b.ID, c.Speedup, fl.speedup)
+		}
+		if want := b.Speedup / tol; c.Speedup < want {
+			return fmt.Errorf("bench: kernel %s: speedup regressed to %.2fx (baseline %.2fx, tolerance %.1f requires >= %.2fx)",
+				b.ID, c.Speedup, b.Speedup, tol, want)
+		}
+		if fl.allocRatio > 0 && c.AllocRatio < fl.allocRatio {
+			return fmt.Errorf("bench: kernel %s: alloc ratio %.2fx below the %.1fx floor", b.ID, c.AllocRatio, fl.allocRatio)
+		}
+		if want := b.KernelAllocsOp*tol + 2; c.KernelAllocsOp > want {
+			return fmt.Errorf("bench: kernel %s: %.1f allocs/op exceeds baseline %.1f (tolerance allows <= %.1f)",
+				b.ID, c.KernelAllocsOp, b.KernelAllocsOp, want)
+		}
+	}
+	return nil
+}

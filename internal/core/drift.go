@@ -46,13 +46,9 @@ func TrainTestAcross(train, test *dataset.Snapshot, cfg TextConfig) (eval.FoldRe
 
 	testDocs := test.SubsampledTerms(cfg.Terms, cfg.Seed+1)
 	var fr eval.FoldResult
+	z := vectorize.NewVectorizer(corpus.Vocab)
 	for i, doc := range testDocs {
-		var x ml.Vector
-		if weighting == vectorize.WeightCounts {
-			x = corpus.Vocab.Counts(doc)
-		} else {
-			x = corpus.Vocab.TFIDF(doc)
-		}
+		x := z.Vector(doc, weighting)
 		y := test.Pharmacies[i].Label
 		p := clf.Prob(x)
 		fr.Scores = append(fr.Scores, p)

@@ -185,8 +185,7 @@ func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]fl
 
 	out := make([]float64, len(docs))
 	parallel.For(len(docs), 0, func(i int) {
-		g := ngram.FromDocument(docs[i])
-		out[i] = ngram.TextRank(g, legitClass, illegitClass) / 8
+		out[i] = ngram.DocTextRank(docs[i], legitClass, illegitClass) / 8
 	})
 	return out, nil
 }

@@ -163,8 +163,10 @@ func NGGFeatureDataset(docs []string, labels []int, names []string, classIdx []i
 	ds := &ml.Dataset{Dim: 8}
 	feats := make([][]float64, len(docs))
 	parallel.For(len(docs), 0, func(i int) {
-		g := ngram.FromDocument(docs[i])
-		feats[i] = ngram.Features(g, legitClass, illegitClass)
+		// Pooled single-pass kernel: one traversal of the document graph
+		// computes all eight similarities, with the graph's scratch
+		// (maps, buffers) reused across the worker's documents.
+		feats[i] = ngram.DocFeatures(nil, docs[i], legitClass, illegitClass)
 	})
 	for i, f := range feats {
 		name := ""

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"sync"
+	"time"
 
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
@@ -59,6 +61,19 @@ type Verifier struct {
 	// fp is the model's identity: the hex SHA-256 digest of its
 	// persisted (Save) form, set by Train and LoadVerifier.
 	fp string
+	// vecPool recycles sparse vectorizers (scratch buffers over the
+	// frozen vocabulary) across Assess calls, so a serving request
+	// allocates O(document terms), not O(vocabulary). The zero pool is
+	// ready to use — Train and LoadVerifier need no extra setup.
+	vecPool sync.Pool
+}
+
+// vectorizer returns a pooled vectorizer over the frozen vocabulary.
+func (v *Verifier) vectorizer() *vectorize.Vectorizer {
+	if z, ok := v.vecPool.Get().(*vectorize.Vectorizer); ok {
+		return z
+	}
+	return vectorize.NewVectorizer(v.vocab)
 }
 
 // Fingerprint returns the hex SHA-256 digest of the verifier's
@@ -196,6 +211,30 @@ func TrainCtx(ctx context.Context, snap *dataset.Snapshot, opts Options) (*Verif
 // trust propagates through shared endpoints; text probabilities use the
 // frozen training vocabulary and model.
 func (v *Verifier) Assess(pharmacies []dataset.Pharmacy) []Assessment {
+	out, _ := v.AssessTimed(pharmacies, nil)
+	return out
+}
+
+// AssessTimings breaks an assessment into the two post-crawl serving
+// stages: Featurize covers trust-graph construction, TrustRank and
+// sparse text vectorization; Classify covers the model probability
+// computations and verdict assembly.
+type AssessTimings struct {
+	Featurize time.Duration
+	Classify  time.Duration
+}
+
+// AssessTimed is Assess with per-stage wall-time attribution. now is
+// the clock to read (nil = time.Now); the serving layer passes its own
+// injectable clock so stage histograms and request histograms agree.
+func (v *Verifier) AssessTimed(pharmacies []dataset.Pharmacy, now func() time.Time) ([]Assessment, AssessTimings) {
+	if now == nil {
+		now = time.Now
+	}
+	t0 := now()
+
+	// Featurize: link structure, trust propagation, and the sparse text
+	// vectors (pooled scratch — O(doc terms) allocation per pharmacy).
 	outbound := make(map[string][]string, len(v.trainOutbound)+len(pharmacies))
 	for d, eps := range v.trainOutbound {
 		outbound[d] = eps
@@ -214,15 +253,18 @@ func (v *Verifier) Assess(pharmacies []dataset.Pharmacy) []Assessment {
 	values := trust.TrustRank(sg, v.seeds, v.opts.Network.Trust)
 	scores := trust.NewScores(sg, values)
 
+	z := v.vectorizer()
+	xs := make([]ml.Vector, len(pharmacies))
+	for i, p := range pharmacies {
+		xs[i] = z.Vector(p.Terms, v.weightng)
+	}
+	v.vecPool.Put(z)
+	t1 := now()
+
+	// Classify: model probabilities and verdicts.
 	out := make([]Assessment, len(pharmacies))
 	for i, p := range pharmacies {
-		var x ml.Vector
-		if v.weightng == vectorize.WeightCounts {
-			x = v.vocab.Counts(p.Terms)
-		} else {
-			x = v.vocab.TFIDF(p.Terms)
-		}
-		textProb := v.text.Prob(x)
+		textProb := v.text.Prob(xs[i])
 		ts := scores.Of(p.Domain)
 		netProb := v.netClf.Prob(ml.NewVector([]float64{ts}))
 		out[i] = Assessment{
@@ -234,7 +276,8 @@ func (v *Verifier) Assess(pharmacies []dataset.Pharmacy) []Assessment {
 			Rank:        textProb + ts,
 		}
 	}
-	return out
+	t2 := now()
+	return out, AssessTimings{Featurize: t1.Sub(t0), Classify: t2.Sub(t1)}
 }
 
 // TrainingCrawlStats returns the crawl telemetry of the snapshot the

@@ -289,22 +289,21 @@ type Similarity struct {
 	CS, SS, VS, NVS float64
 }
 
-// Compare computes all four similarities of doc against class.
+// Compare computes all four similarities of doc against class in a
+// single traversal of doc's edges (see kernel.go). In particular NVS
+// reuses the SS and VS already computed by the pass instead of
+// recomputing both from scratch, as the standalone
+// NormalizedValueSimilarity must. Results are bit-for-bit identical to
+// the four standalone reference functions.
 func Compare(doc, class *Graph) Similarity {
-	return Similarity{
-		CS:  ContainmentSimilarity(doc, class),
-		SS:  SizeSimilarity(doc, class),
-		VS:  ValueSimilarity(doc, class),
-		NVS: NormalizedValueSimilarity(doc, class),
-	}
+	return compareOne(doc, class)
 }
 
 // Features flattens similarities against the legitimate and
 // illegitimate class graphs into the 8-feature vector used to train the
 // N-Gram-Graph classifiers (Figure 2 of the paper).
 func Features(doc, legitClass, illegitClass *Graph) []float64 {
-	a := Compare(doc, legitClass)
-	b := Compare(doc, illegitClass)
+	a, b := CompareBoth(doc, legitClass, illegitClass)
 	return []float64{a.CS, a.SS, a.VS, a.NVS, b.CS, b.SS, b.VS, b.NVS}
 }
 
@@ -319,8 +318,7 @@ var FeatureNames = []string{
 // to the legitimate class and the complements of the similarities to
 // the illegitimate class.
 func TextRank(doc, legitClass, illegitClass *Graph) float64 {
-	a := Compare(doc, legitClass)
-	b := Compare(doc, illegitClass)
+	a, b := CompareBoth(doc, legitClass, illegitClass)
 	return a.CS + (1 - b.CS) +
 		a.SS + (1 - b.SS) +
 		a.VS + (1 - b.VS) +

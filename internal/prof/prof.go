@@ -1,0 +1,53 @@
+// Package prof gates the runtime/pprof CPU and heap profilers behind
+// CLI flags (-cpuprofile / -memprofile on pharmaverify and
+// experiments). Profiling is strictly opt-in: with empty paths every
+// function is a no-op, so the hot paths carry no profiling cost unless
+// asked to.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns the stop
+// function that ends the profile and closes the file. An empty path is
+// a no-op (the returned stop is still safe to call).
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after a GC (so the profile
+// reflects live objects, not collectable garbage). An empty path is a
+// no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: write mem profile: %w", err)
+	}
+	return nil
+}

@@ -90,17 +90,27 @@ type metrics struct {
 	verdicts     *labelCounter // verdict: legitimate | illegitimate
 	queueReject  counter
 	modelReloads counter
-	crawlSecs    *histogram
-	requestSecs  *histogram
+	// Per-stage latency of the on-demand pipeline: crawl → preprocess
+	// (summarize, stop-word removal, link extraction) → featurize
+	// (trust graph + sparse vectorization) → classify (model
+	// probabilities). requestSecs covers the whole request.
+	crawlSecs      *histogram
+	preprocessSecs *histogram
+	featurizeSecs  *histogram
+	classifySecs   *histogram
+	requestSecs    *histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:    &labelCounter{},
-		domains:     &labelCounter{},
-		verdicts:    &labelCounter{},
-		crawlSecs:   newHistogram(durationBuckets),
-		requestSecs: newHistogram(durationBuckets),
+		requests:       &labelCounter{},
+		domains:        &labelCounter{},
+		verdicts:       &labelCounter{},
+		crawlSecs:      newHistogram(durationBuckets),
+		preprocessSecs: newHistogram(durationBuckets),
+		featurizeSecs:  newHistogram(durationBuckets),
+		classifySecs:   newHistogram(durationBuckets),
+		requestSecs:    newHistogram(durationBuckets),
 	}
 }
 

@@ -140,6 +140,7 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 			domain, r.Stats.Attempts, r.Stats.Failures)
 	}
 
+	preStart := time.Now()
 	summary := textproc.Summarize(r.Text())
 	p := dataset.Pharmacy{
 		Domain:   domain,
@@ -147,7 +148,12 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 		Outbound: trust.OutboundEndpoints(r.External, domain),
 		Pages:    len(r.Pages),
 	}
-	a := slot.v.Assess([]dataset.Pharmacy{p})[0]
+	s.met.preprocessSecs.observe(time.Since(preStart).Seconds())
+
+	as, timings := slot.v.AssessTimed([]dataset.Pharmacy{p}, nil)
+	a := as[0]
+	s.met.featurizeSecs.observe(timings.Featurize.Seconds())
+	s.met.classifySecs.observe(timings.Classify.Seconds())
 
 	if a.Legitimate {
 		s.met.verdicts.inc("legitimate")

@@ -490,5 +490,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "pharmaverify_crawl_bytes_total", "HTML bytes fetched.", "counter", fmt.Sprint(st.Bytes))
 
 	writeHistogram(w, "pharmaverify_crawl_duration_seconds", "Wall time of one on-demand crawl.", s.met.crawlSecs)
+	writeHistogram(w, "pharmaverify_preprocess_duration_seconds", "Wall time of summarize + stop-word removal + link extraction for one domain.", s.met.preprocessSecs)
+	writeHistogram(w, "pharmaverify_featurize_duration_seconds", "Wall time of trust-graph construction and sparse text vectorization for one assessment.", s.met.featurizeSecs)
+	writeHistogram(w, "pharmaverify_classify_duration_seconds", "Wall time of the model probability computations for one assessment.", s.met.classifySecs)
 	writeHistogram(w, "pharmaverify_request_duration_seconds", "Wall time of one verify request.", s.met.requestSecs)
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pharmaverify/internal/ml"
 )
@@ -27,6 +28,13 @@ type Vocabulary struct {
 	// Bumping gen invalidates the whole slice in O(1).
 	seenGen []int
 	gen     int
+
+	// idfMu guards the memoized IDF vector. The cache key is (docs,
+	// term count): AddDocument always bumps docs, so any mutation
+	// invalidates it.
+	idfMu    sync.Mutex
+	idfCache []float64
+	idfDocs  int
 }
 
 // BuildVocabulary constructs a vocabulary over the given tokenized
@@ -84,6 +92,25 @@ func (v *Vocabulary) IDF(i int) float64 {
 	return math.Log(float64(1+v.docs)/float64(1+v.df[i])) + 1
 }
 
+// IDFVector returns the full IDF vector of a fitted vocabulary,
+// computed once and memoized: the per-term math.Log otherwise paid on
+// every vectorization of every request is paid once per vocabulary.
+// The returned slice is shared — callers must treat it as read-only.
+// Folding more documents in invalidates the cache.
+func (v *Vocabulary) IDFVector() []float64 {
+	v.idfMu.Lock()
+	defer v.idfMu.Unlock()
+	if v.idfCache != nil && v.idfDocs == v.docs && len(v.idfCache) == len(v.df) {
+		return v.idfCache
+	}
+	idf := make([]float64, len(v.df))
+	for i := range idf {
+		idf[i] = v.IDF(i)
+	}
+	v.idfCache, v.idfDocs = idf, v.docs
+	return idf
+}
+
 // TermCounts computes the raw term-frequency map of a document,
 // skipping out-of-vocabulary terms.
 func (v *Vocabulary) TermCounts(terms []string) map[int]float64 {
@@ -104,21 +131,28 @@ func (v *Vocabulary) Counts(terms []string) ml.Vector {
 
 // TFIDF vectorizes a document with TF-IDF weights, L2-normalized (the
 // standard variant used for SVMs and trees on text).
+//
+// The norm is accumulated in ascending feature-index order — summing
+// over the counts map's randomized iteration order, as this function
+// historically did, changes the rounding of the norm between runs and
+// thus the last bits of every weight. The fixed order keeps the vector
+// bit-for-bit reproducible and lets the scratch-buffer Vectorizer
+// (sparse.go) match it exactly.
 func (v *Vocabulary) TFIDF(terms []string) ml.Vector {
-	m := v.TermCounts(terms)
+	vec := ml.FromMap(v.TermCounts(terms))
 	var norm float64
-	for i, tf := range m {
-		w := tf * v.IDF(i)
-		m[i] = w
+	for k, i := range vec.Ind {
+		w := vec.Val[k] * v.IDF(int(i))
+		vec.Val[k] = w
 		norm += w * w
 	}
 	if norm > 0 {
 		norm = math.Sqrt(norm)
-		for i := range m {
-			m[i] /= norm
+		for k := range vec.Val {
+			vec.Val[k] /= norm
 		}
 	}
-	return ml.FromMap(m)
+	return vec
 }
 
 // vocabularyState is the JSON wire form of a Vocabulary.
@@ -150,6 +184,9 @@ func (v *Vocabulary) UnmarshalJSON(data []byte) error {
 	// in documents.
 	v.seenGen = make([]int, len(s.Terms))
 	v.gen = 0
+	v.idfMu.Lock()
+	v.idfCache, v.idfDocs = nil, 0
+	v.idfMu.Unlock()
 	v.index = make(map[string]int, len(s.Terms))
 	for i, t := range s.Terms {
 		if _, dup := v.index[t]; dup {
@@ -209,22 +246,19 @@ const (
 	WeightCounts
 )
 
-// Dataset vectorizes all corpus documents into an ml.Dataset.
+// Dataset vectorizes all corpus documents into an ml.Dataset, sharing
+// one Vectorizer's scratch across the whole corpus (bit-identical to
+// calling Vocabulary.Counts/TFIDF per document, without the per-call
+// map and IDF recomputation).
 func (c *Corpus) Dataset(w Weighting) *ml.Dataset {
 	ds := &ml.Dataset{Dim: c.Vocab.Size()}
+	z := NewVectorizer(c.Vocab)
 	for i, doc := range c.Docs {
-		var x ml.Vector
-		switch w {
-		case WeightCounts:
-			x = c.Vocab.Counts(doc)
-		default:
-			x = c.Vocab.TFIDF(doc)
-		}
 		name := ""
 		if i < len(c.Names) {
 			name = c.Names[i]
 		}
-		ds.Add(x, c.Y[i], name)
+		ds.Add(z.Vector(doc, w), c.Y[i], name)
 	}
 	return ds
 }
