@@ -67,6 +67,12 @@ func main() {
 		crawlDelay    = flag.Duration("crawl-delay", 0, "politeness delay before every fetch (set ~200ms for live crawls)")
 		crawlBreaker  = flag.Int("crawl-failure-budget", 20, "consecutive lost pages before abandoning a domain (0 = off)")
 
+		graphMaxNodes   = flag.Int("graph-max-nodes", 100_000, "live link-graph node bound beyond the model's training graph")
+		graphMaxOut     = flag.Int("graph-max-out", 200, "outbound endpoints folded per crawl")
+		graphDirty      = flag.Int("graph-refresh-dirty", 16, "graph-changing folds that trigger a TrustRank recompute (1 = every change)")
+		graphRefresh    = flag.Duration("graph-refresh-interval", 30*time.Second, "background TrustRank refresh tick bounding score staleness (0 = request-driven only)")
+		registryFile    = flag.String("registry-file", "", "registry evidence backend: file of \"domain legitimate|illegitimate\" lines (empty = registry source abstains)")
+
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = profiling disabled")
 
 		worldSeed    = flag.Int64("world-seed", 0, "serve against a synthetic webgen world with this seed instead of live HTTP (tests, smoke)")
@@ -87,6 +93,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var registry serve.RegistryLookup
+	if *registryFile != "" {
+		reg, err := loadRegistry(*registryFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
+			os.Exit(2)
+		}
+		logf("registry backend: %d domains from %s", reg.Len(), *registryFile)
+		registry = reg
+	}
 	if err := run(*modelPath, *addr, serve.Config{
 		Crawl: crawler.Config{
 			MaxPages:      *crawlPages,
@@ -96,12 +112,17 @@ func main() {
 			Delay:         *crawlDelay,
 			FailureBudget: *crawlBreaker,
 		},
-		Workers:        *workers,
-		BatchWorkers:   *batchWrk,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		CacheTTL:       *cacheTTL,
-		DefaultTimeout: *timeout,
+		Workers:              *workers,
+		BatchWorkers:         *batchWrk,
+		QueueDepth:           *queue,
+		CacheSize:            *cacheSize,
+		CacheTTL:             *cacheTTL,
+		DefaultTimeout:       *timeout,
+		GraphMaxNodes:        *graphMaxNodes,
+		GraphMaxOut:          *graphMaxOut,
+		GraphDirtyThreshold:  *graphDirty,
+		GraphRefreshInterval: *graphRefresh,
+		Registry:             registry,
 	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
 		os.Exit(1)
@@ -129,6 +150,19 @@ func servePprof(addr string) error {
 		}
 	}()
 	return nil
+}
+
+func loadRegistry(path string) (*serve.StaticRegistry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load registry: %w", err)
+	}
+	defer f.Close()
+	reg, err := serve.ParseRegistry(f)
+	if err != nil {
+		return nil, fmt.Errorf("load registry %s: %w", path, err)
+	}
+	return reg, nil
 }
 
 func loadModel(path string) (*core.Verifier, error) {
@@ -169,6 +203,7 @@ func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, w
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

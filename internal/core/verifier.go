@@ -280,6 +280,43 @@ func (v *Verifier) AssessTimed(pharmacies []dataset.Pharmacy, now func() time.Ti
 	return out, AssessTimings{Featurize: t1.Sub(t0), Classify: t2.Sub(t1)}
 }
 
+// TextProb returns the text classifier's P(legitimate) for one
+// preprocessed term list — the text half of an assessment, exposed on
+// its own so serving-layer evidence sources can vote independently.
+// It uses the pooled sparse vectorizer over the frozen vocabulary.
+func (v *Verifier) TextProb(terms []string) float64 {
+	z := v.vectorizer()
+	x := z.Vector(terms, v.weightng)
+	v.vecPool.Put(z)
+	return v.text.Prob(x)
+}
+
+// NetworkProbFromTrust returns the network classifier's P(legitimate)
+// for an externally computed trust score — the network half of an
+// assessment, for callers that maintain their own link graph (the
+// serving layer's incrementally refreshed TrustRank) instead of
+// rebuilding one per call like Assess does.
+func (v *Verifier) NetworkProbFromTrust(trustScore float64) float64 {
+	return v.netClf.Prob(ml.NewVector([]float64{trustScore}))
+}
+
+// Seeds returns a copy of the TrustRank seed map (the training
+// snapshot's known-legitimate pharmacies at value 1).
+func (v *Verifier) Seeds() map[string]float64 {
+	out := make(map[string]float64, len(v.seeds))
+	for d, s := range v.seeds {
+		out[d] = s
+	}
+	return out
+}
+
+// TrainingOutbound returns the training pharmacies' outbound endpoint
+// lists — the static base of any link graph this model scores against.
+// The returned map and its slices are the verifier's own state: callers
+// must treat them as read-only (merge into a copy, never append in
+// place).
+func (v *Verifier) TrainingOutbound() map[string][]string { return v.trainOutbound }
+
 // TrainingCrawlStats returns the crawl telemetry of the snapshot the
 // verifier was trained on, or nil if unavailable. A training crawl with
 // many lost pages or breaker trips yields a model whose text features

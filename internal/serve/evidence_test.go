@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"pharmaverify/internal/dataset"
+)
+
+func TestParseRegistry(t *testing.T) {
+	reg, err := ParseRegistry(strings.NewReader(`
+# seed registry
+Pharmacy-One.example  legitimate
+rogue.example         illegitimate
+
+shop.example          legit
+scam.example          ILLEGIT
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 4 {
+		t.Fatalf("parsed %d domains, want 4", reg.Len())
+	}
+	for domain, want := range map[string]bool{
+		"pharmacy-one.example": true, // keys are lowercased
+		"rogue.example":        false,
+		"shop.example":         true,
+		"scam.example":         false,
+	} {
+		legit, known, err := reg.Lookup(context.Background(), domain)
+		if err != nil || !known || legit != want {
+			t.Errorf("Lookup(%s) = (%v, %v, %v), want (%v, true, nil)", domain, legit, known, err, want)
+		}
+	}
+	if _, known, _ := reg.Lookup(context.Background(), "unknown.example"); known {
+		t.Error("unknown domain reported as known")
+	}
+}
+
+func TestParseRegistryRejectsMalformedLines(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"three fields", "a.example legitimate extra"},
+		{"one field", "a.example"},
+		{"bad status", "a.example dubious"},
+	} {
+		if _, err := ParseRegistry(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ParseRegistry accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestRegistrySourceSemantics(t *testing.T) {
+	p := dataset.Pharmacy{Domain: "a.example"}
+
+	// No registry configured: the source is a permanent abstainer.
+	if _, err := (registrySource{}).Assess(context.Background(), nil, p); !errors.Is(err, errNoEvidence) {
+		t.Errorf("nil lookup: err = %v, want errNoEvidence", err)
+	}
+
+	src := registrySource{lookup: NewStaticRegistry(map[string]bool{
+		"a.example": true,
+		"b.example": false,
+	})}
+	ev, err := src.Assess(context.Background(), nil, p)
+	if err != nil || ev.Prob != 1 {
+		t.Errorf("registered-legitimate: (%+v, %v), want Prob=1", ev, err)
+	}
+	if ev.HasTrustScore {
+		t.Error("registry evidence claims a trust score")
+	}
+	ev, err = src.Assess(context.Background(), nil, dataset.Pharmacy{Domain: "b.example"})
+	if err != nil || ev.Prob != 0 {
+		t.Errorf("registered-illegitimate: (%+v, %v), want Prob=0", ev, err)
+	}
+	if _, err = src.Assess(context.Background(), nil, dataset.Pharmacy{Domain: "c.example"}); !errors.Is(err, errNoEvidence) {
+		t.Errorf("unregistered domain: err = %v, want errNoEvidence", err)
+	}
+}
+
+// failingLookup simulates a registry backend outage.
+type failingLookup struct{}
+
+func (failingLookup) Lookup(context.Context, string) (bool, bool, error) {
+	return false, false, errors.New("registry unreachable")
+}
+
+func TestRegistrySourceSurfacesLookupErrors(t *testing.T) {
+	src := registrySource{lookup: failingLookup{}}
+	_, err := src.Assess(context.Background(), nil, dataset.Pharmacy{Domain: "a.example"})
+	if err == nil || errors.Is(err, errNoEvidence) {
+		t.Fatalf("lookup failure reported as %v, want a real error (fusion degrades, metrics count it)", err)
+	}
+}

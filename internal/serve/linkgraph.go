@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pharmaverify/internal/core"
+	"pharmaverify/internal/trust"
+)
+
+// linkGraph is the serving layer's network-evidence backend state: a
+// bounded trust.LiveGraph fed by every on-demand crawl's outbound
+// endpoints, plus an incrementally refreshed TrustRank score snapshot
+// over the union of the model's training link structure and the live
+// graph. Scores are recomputed when enough graph-changing folds have
+// accumulated (dirtyThreshold), when a served domain is missing from
+// the current snapshot (a cold domain must not be scored 0 against a
+// stale graph), when the model changes (seeds and training links are
+// per-model), or on the server's background refresh tick — never
+// unconditionally per request.
+type linkGraph struct {
+	live           *trust.LiveGraph
+	dirtyThreshold uint64
+	met            *metrics
+
+	// refreshMu serializes recomputes; snap is the lock-free read path.
+	refreshMu sync.Mutex
+	snap      atomic.Pointer[trustSnapshot]
+}
+
+// trustSnapshot is one immutable TrustRank computation: every node of
+// the fused (training ∪ live) graph mapped to its score, tagged with
+// the model fingerprint and live-graph version it was computed from.
+type trustSnapshot struct {
+	fp      string
+	version uint64
+	scores  map[string]float64
+	nodes   int
+	edges   int
+}
+
+func newLinkGraph(cfg Config, met *metrics) *linkGraph {
+	return &linkGraph{
+		live: trust.NewLiveGraph(trust.LiveConfig{
+			MaxNodes:        cfg.GraphMaxNodes,
+			MaxOutPerDomain: cfg.GraphMaxOut,
+		}),
+		dirtyThreshold: uint64(cfg.GraphDirtyThreshold),
+		met:            met,
+	}
+}
+
+// fold records one crawl's outbound endpoints; it reports whether the
+// domain is part of the live graph (false once the node budget is
+// exhausted — the network source then degrades for this domain).
+func (g *linkGraph) fold(domain string, endpoints []string) bool {
+	return g.live.Fold(domain, endpoints)
+}
+
+// score returns the served TrustRank score of a domain and whether the
+// current snapshot knows it at all.
+func (g *linkGraph) score(domain string) (float64, bool) {
+	snap := g.snap.Load()
+	if snap == nil {
+		return 0, false
+	}
+	s, ok := snap.scores[domain]
+	return s, ok
+}
+
+// stale decides whether the snapshot must be recomputed before serving
+// domain (empty domain: only model/dirtiness staleness, the background
+// tick's view).
+func (g *linkGraph) stale(v *core.Verifier, domain string) bool {
+	snap := g.snap.Load()
+	if snap == nil {
+		return true
+	}
+	if snap.fp != v.Fingerprint() {
+		return true
+	}
+	if g.live.Version()-snap.version >= g.dirtyThreshold {
+		return true
+	}
+	if domain != "" {
+		// A miss forces a refresh only for domains the live graph
+		// actually admitted; a domain dropped by the node bound would
+		// otherwise trigger a futile recompute on every request.
+		if _, ok := snap.scores[domain]; !ok && g.live.Contains(domain) {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshIfStale recomputes the score snapshot when stale. Concurrent
+// callers serialize on refreshMu and re-check under the lock, so a
+// burst of folds costs one recompute, not one per caller.
+func (g *linkGraph) refreshIfStale(v *core.Verifier, domain string) {
+	if !g.stale(v, domain) {
+		return
+	}
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	if !g.stale(v, domain) {
+		return
+	}
+	g.refresh(v)
+}
+
+// refresh rebuilds the fused graph and recomputes TrustRank — exactly
+// the offline pipeline's construction (training outbound links, with
+// freshly crawled domains replacing their training entry, symmetrized
+// unless the model was trained directed), so online scores converge to
+// the offline ones whenever the live graph matches what the offline
+// batch would have seen. Callers hold refreshMu.
+func (g *linkGraph) refresh(v *core.Verifier) {
+	start := time.Now()
+	liveOut, version := g.live.SnapshotOutbound()
+	train := v.TrainingOutbound()
+	merged := make(map[string][]string, len(train)+len(liveOut))
+	for d, eps := range train {
+		merged[d] = eps
+	}
+	for d, eps := range liveOut {
+		merged[d] = eps
+	}
+	built := trust.BuildGraph(merged)
+	opts := v.Options().Network
+	sg := built
+	if opts.Variant != core.TrustRankDirected {
+		sg = built.Undirected()
+	}
+	values := trust.TrustRank(sg, v.Seeds(), opts.Trust)
+	scores := make(map[string]float64, sg.Len())
+	for id := 0; id < sg.Len(); id++ {
+		scores[sg.Name(id)] = values[id]
+	}
+	g.snap.Store(&trustSnapshot{
+		fp:      v.Fingerprint(),
+		version: version,
+		scores:  scores,
+		nodes:   built.Len(),
+		edges:   built.Edges(),
+	})
+	g.met.graphRefreshes.inc()
+	g.met.refreshSecs.observe(time.Since(start).Seconds())
+}
+
+// dirty reports the graph-changing folds not yet reflected in the
+// served snapshot (for /metrics).
+func (g *linkGraph) dirty() uint64 {
+	snap := g.snap.Load()
+	if snap == nil {
+		return g.live.Version()
+	}
+	return g.live.Version() - snap.version
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -77,6 +78,61 @@ func (h *histogram) observe(v float64) {
 	h.mu.Unlock()
 }
 
+// mean returns the running mean of all observations (0 before the
+// first). The 429 Retry-After hint is derived from it: the typical
+// service time is the soonest a retry could plausibly be served.
+func (h *histogram) mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// histogramVec is a histogram family over the values of one label
+// (per-evidence-source latency). Label values are created on first
+// observation, so pluggable sources need no registration.
+type histogramVec struct {
+	mu     sync.Mutex
+	bounds []float64
+	m      map[string]*histogram
+}
+
+func newHistogramVec(bounds []float64) *histogramVec {
+	return &histogramVec{bounds: bounds, m: make(map[string]*histogram)}
+}
+
+// with returns the histogram for one label value, creating it on first
+// use.
+func (v *histogramVec) with(label string) *histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[label]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.m[label] = h
+	}
+	return h
+}
+
+// snapshot returns the label values in sorted order with their
+// histograms, for deterministic rendering.
+func (v *histogramVec) snapshot() ([]string, []*histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.m[k]
+	}
+	return keys, hs
+}
+
 // durationBuckets covers 1 ms … 60 s, the plausible range of one
 // on-demand crawl-and-classify request.
 var durationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
@@ -86,18 +142,23 @@ var durationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
 // components at render time, which keeps them impossible to desync.
 type metrics struct {
 	requests     *labelCounter // code: HTTP status of /v1/verify responses
-	domains      *labelCounter // outcome: cache_hit | crawled | deduped | error
+	domains      *labelCounter // outcome: cache_hit | crawled | deduped | partial | error
 	verdicts     *labelCounter // verdict: legitimate | illegitimate
 	queueReject  counter
 	modelReloads counter
+	// Evidence fusion: per-source assessment latency, fused
+	// contributions and degraded (errored) assessments by source, and
+	// the link-graph TrustRank refresh cost.
+	sourceSecs     *histogramVec // source: text | network | registry
+	sourceContribs *labelCounter // source
+	sourceErrors   *labelCounter // source
+	graphRefreshes counter
+	refreshSecs    *histogram
 	// Per-stage latency of the on-demand pipeline: crawl → preprocess
-	// (summarize, stop-word removal, link extraction) → featurize
-	// (trust graph + sparse vectorization) → classify (model
-	// probabilities). requestSecs covers the whole request.
+	// (summarize, stop-word removal, link extraction) → per-source
+	// assessment (sourceSecs). requestSecs covers the whole request.
 	crawlSecs      *histogram
 	preprocessSecs *histogram
-	featurizeSecs  *histogram
-	classifySecs   *histogram
 	requestSecs    *histogram
 }
 
@@ -106,10 +167,12 @@ func newMetrics() *metrics {
 		requests:       &labelCounter{},
 		domains:        &labelCounter{},
 		verdicts:       &labelCounter{},
+		sourceSecs:     newHistogramVec(durationBuckets),
+		sourceContribs: &labelCounter{},
+		sourceErrors:   &labelCounter{},
+		refreshSecs:    newHistogram(durationBuckets),
 		crawlSecs:      newHistogram(durationBuckets),
 		preprocessSecs: newHistogram(durationBuckets),
-		featurizeSecs:  newHistogram(durationBuckets),
-		classifySecs:   newHistogram(durationBuckets),
 		requestSecs:    newHistogram(durationBuckets),
 	}
 }
@@ -128,22 +191,42 @@ func writeLabelCounter(w io.Writer, name, help, label string, lc *labelCounter) 
 }
 
 func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistogramSeries(w, name, "", h)
+}
+
+// writeHistogramVec renders one histogram family with a label per
+// series (HELP/TYPE once, then every label's buckets).
+func writeHistogramVec(w io.Writer, name, help, label string, v *histogramVec) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	keys, hs := v.snapshot()
+	for i, k := range keys {
+		writeHistogramSeries(w, name, fmt.Sprintf("%s=%q,", label, k), hs[i])
+	}
+}
+
+// writeHistogramSeries renders one series' buckets/sum/count;
+// labelPrefix is empty or `label="value",` to splice before le.
+func writeHistogramSeries(w io.Writer, name, labelPrefix string, h *histogram) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]uint64(nil), h.counts...)
 	sum, n := h.sum, h.n
 	h.mu.Unlock()
 
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum uint64
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, formatFloat(b), cum)
 	}
 	cum += counts[len(bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, n)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, cum)
+	if labelPrefix == "" {
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(sum), name, n)
+	} else {
+		lbl := "{" + strings.TrimSuffix(labelPrefix, ",") + "}"
+		fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, lbl, formatFloat(sum), name, lbl, n)
+	}
 }
 
 func formatFloat(v float64) string {

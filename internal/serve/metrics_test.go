@@ -42,6 +42,18 @@ func TestMetricsExposition(t *testing.T) {
 		`pharmaverify_domains_total{outcome="crawled"} 1`,
 		"pharmaverify_crawl_duration_seconds_count 1",
 		"pharmaverify_request_duration_seconds_count 2",
+		// Evidence fusion: per-source contributions and latency (one
+		// fresh verdict fused text + network; the unconfigured registry
+		// abstained but was still timed), plus the link-graph telemetry.
+		`pharmaverify_source_contributions_total{source="text"} 1`,
+		`pharmaverify_source_contributions_total{source="network"} 1`,
+		`pharmaverify_source_duration_seconds_count{source="text"} 1`,
+		`pharmaverify_source_duration_seconds_count{source="registry"} 1`,
+		"pharmaverify_linkgraph_folds_total 1",
+		"pharmaverify_linkgraph_refreshes_total 1",
+		"pharmaverify_linkgraph_dirty 0",
+		"pharmaverify_linkgraph_nodes ",
+		"pharmaverify_linkgraph_refresh_duration_seconds_count 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics exposition missing %q", want)
@@ -49,16 +61,19 @@ func TestMetricsExposition(t *testing.T) {
 	}
 
 	// Structural sanity: every sample line belongs to a family that was
-	// declared with # TYPE, and histogram buckets are cumulative.
+	// declared with # TYPE, and histogram buckets are cumulative within
+	// each series (a labeled family restarts per label set).
 	types := map[string]bool{}
 	sc := bufio.NewScanner(strings.NewReader(body))
-	var lastBucket uint64
+	var (
+		lastBucket uint64
+		lastSeries string
+	)
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.Fields(line)
 			types[parts[2]] = true
-			lastBucket = 0
 			continue
 		}
 		if strings.HasPrefix(line, "#") || line == "" {
@@ -77,7 +92,12 @@ func TestMetricsExposition(t *testing.T) {
 		if !types[base] {
 			t.Errorf("sample %q has no # TYPE declaration", name)
 		}
-		if strings.Contains(line, "_bucket{") {
+		if i := strings.Index(line, "le="); strings.Contains(line, "_bucket{") && i >= 0 {
+			// The series is the name plus every label before le (empty
+			// for unlabeled histograms, source="x" for the vec).
+			if series := line[:i]; series != lastSeries {
+				lastSeries, lastBucket = series, 0
+			}
 			var v uint64
 			if _, err := fmtSscan(line, &v); err == nil {
 				if v < lastBucket {

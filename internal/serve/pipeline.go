@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/ml/ensemble"
 	"pharmaverify/internal/textproc"
 	"pharmaverify/internal/trust"
 )
@@ -97,9 +99,11 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 	}
 	v, shared, err := s.flight.do(ctx, key, func(ctx context.Context) (DomainVerdict, error) {
 		v, err := s.assess(ctx, slot, domain)
-		if err == nil {
-			// Cache successful verdicts only — a transient crawl failure
-			// must not stick for a whole TTL. A refresh=true assessment
+		if err == nil && !v.Partial {
+			// Cache successful, complete verdicts only — a transient
+			// crawl failure must not stick for a whole TTL, and a
+			// partial-crawl verdict must not shadow the full crawl a
+			// later request could collect. A refresh=true assessment
 			// also lands here, replacing any cached verdict: later cached
 			// reads are never staler than the freshest one served.
 			s.cache.put(key, v)
@@ -121,9 +125,9 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 // assess runs the on-demand pipeline for one domain: crawl (bounded by
 // the flight's detached context and the server's crawl budget), preprocess
 // (summarize + stop-word removal, exactly the training-time pipeline),
-// then Verifier.Assess against the slot's model. The verdict is
-// self-contained — it owns a clone of its crawl telemetry — so it can
-// be cached and returned to many requests safely.
+// then fuse the ordered evidence backends over the observation. The
+// verdict is self-contained — it owns a clone of its crawl telemetry —
+// so it can be cached and returned to many requests safely.
 func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (DomainVerdict, error) {
 	start := time.Now()
 	r := crawler.CrawlCtx(ctx, s.fetch, domain, s.cfg.Crawl)
@@ -132,12 +136,24 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 	// (race-safe: Aggregator copies, the verdict gets its own clone).
 	s.agg.Add(r.Stats)
 
-	if r.Stats.Cancels != 0 {
-		return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted: %w", domain, ctx.Err())
-	}
+	// A crawl interrupted mid-deadline degrades to the pages collected
+	// so far instead of discarding them; only a crawl that got nothing
+	// at all is an error. ctx.Err() can be nil here — the cancel may
+	// have come from the flight's detached MaxTimeout context rather
+	// than this one — so it is never wrapped blindly.
+	partial := r.Stats.Cancels != 0
 	if len(r.Pages) == 0 {
+		if partial {
+			if cause := ctx.Err(); cause != nil {
+				return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted: %w", domain, cause)
+			}
+			return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted before any page was collected", domain)
+		}
 		return DomainVerdict{}, fmt.Errorf("no pages crawled for %s (%d attempts, %d failed)",
 			domain, r.Stats.Attempts, r.Stats.Failures)
+	}
+	if partial {
+		s.met.domains.inc("partial")
 	}
 
 	preStart := time.Now()
@@ -150,24 +166,68 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 	}
 	s.met.preprocessSecs.observe(time.Since(preStart).Seconds())
 
-	as, timings := slot.v.AssessTimed([]dataset.Pharmacy{p}, nil)
-	a := as[0]
-	s.met.featurizeSecs.observe(timings.Featurize.Seconds())
-	s.met.classifySecs.observe(timings.Classify.Seconds())
+	v, err := s.fuse(ctx, slot, p)
+	if err != nil {
+		return DomainVerdict{}, err
+	}
+	v.Partial = partial
+	v.Pages = len(r.Pages)
+	v.Crawl = r.Stats.Clone()
+	return v, nil
+}
 
-	if a.Legitimate {
+// fuse runs the ordered evidence backends (text, network, registry)
+// over one crawled observation and fuses their votes through the
+// ensemble machinery's equal-weight averaging — with only the text and
+// network sources contributing this is bit-identical to the offline
+// pipeline's (textProb+networkProb)/2 decision rule. A source that
+// abstains (errNoEvidence) or fails drops out; the verdict records
+// exactly which sources contributed.
+func (s *Server) fuse(ctx context.Context, slot *modelSlot, p dataset.Pharmacy) (DomainVerdict, error) {
+	v := DomainVerdict{Domain: p.Domain}
+	probs := make([]float64, 0, len(s.sources))
+	for _, src := range s.sources {
+		name := src.Name()
+		t0 := time.Now()
+		ev, err := src.Assess(ctx, slot.v, p)
+		s.met.sourceSecs.with(name).observe(time.Since(t0).Seconds())
+		if errors.Is(err, errNoEvidence) {
+			continue
+		}
+		if err != nil {
+			// One failing backend degrades the verdict to the remaining
+			// sources rather than failing the domain.
+			s.met.sourceErrors.inc(name)
+			continue
+		}
+		s.met.sourceContribs.inc(name)
+		v.Sources = append(v.Sources, SourceContribution{Name: name, Prob: ev.Prob})
+		probs = append(probs, ev.Prob)
+		if name == "text" {
+			v.TextProb = ev.Prob
+		}
+		if ev.HasTrustScore {
+			v.TrustScore = ev.TrustScore
+			v.NetworkProb = ev.Prob
+		}
+	}
+	if len(probs) == 0 {
+		return DomainVerdict{}, fmt.Errorf("no evidence source produced a verdict for %s", p.Domain)
+	}
+	// Equal-weight selection over every contributing source — the same
+	// averaging the offline ensemble applies to its selected bag.
+	sel := make([]int, len(probs))
+	for i := range sel {
+		sel[i] = i
+	}
+	fused := ensemble.AverageSelected(sel, probs)
+	v.Legitimate = fused >= 0.5
+	// Rank keeps the paper's OPR semantics: textRank + networkRank.
+	v.Rank = v.TextProb + v.TrustScore
+	if v.Legitimate {
 		s.met.verdicts.inc("legitimate")
 	} else {
 		s.met.verdicts.inc("illegitimate")
 	}
-	return DomainVerdict{
-		Domain:      a.Domain,
-		Legitimate:  a.Legitimate,
-		Rank:        a.Rank,
-		TextProb:    a.TextProb,
-		TrustScore:  a.TrustScore,
-		NetworkProb: a.NetworkProb,
-		Pages:       len(r.Pages),
-		Crawl:       r.Stats.Clone(),
-	}, nil
+	return v, nil
 }

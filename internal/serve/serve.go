@@ -1,13 +1,21 @@
 // Package serve implements the online verification service: a
 // long-lived HTTP server that answers "is this pharmacy legitimate?"
 // for a URL a user is looking at *right now*, by running the full
-// on-demand pipeline — crawl the domain, preprocess the text, assess it
-// with a trained core.Verifier, rank the batch — while the user waits.
-// It is the consumer-facing deployment shape the batch pipeline feeds:
-// train offline, snapshot the model, serve it here.
+// on-demand pipeline — crawl the domain, preprocess the text, fuse the
+// evidence backends over the observation, rank the batch — while the
+// user waits. It is the consumer-facing deployment shape the batch
+// pipeline feeds: train offline, snapshot the model, serve it here.
 //
 // Production shape:
 //
+//   - Evidence fusion: the verdict is an ensemble over ordered
+//     EvidenceSource backends — the text classifier, the TrustRank
+//     network model over an incrementally maintained fleet-wide link
+//     graph, and a pluggable registry lookup — with every response
+//     itemizing the sources that contributed. The link graph is
+//     bounded and folded from every on-demand crawl; scores refresh on
+//     a dirty threshold, on cold domains, and on a background tick —
+//     never per request.
 //   - Admission control: a bounded worker pool plus a bounded wait
 //     queue; beyond that, requests are shed with 429 + Retry-After so
 //     overload degrades into fast rejections, not unbounded latency.
@@ -32,8 +40,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,11 +61,14 @@ type Config struct {
 	// crawler.HTTPFetcher in production, a webgen.World or any other
 	// deterministic Fetcher in tests.
 	Fetcher crawler.Fetcher
-	// Crawl is the per-request crawl budget template. The zero value is
-	// replaced by a serving-appropriate budget: MaxPages 50,
-	// AttemptBudget 150, 2 fetch attempts per page, 5 s fetch timeout,
-	// failure budget 20 — far tighter than the batch pipeline's
-	// paper-scale crawl, because a user is waiting.
+	// Crawl is the per-request crawl budget template. Unset (zero)
+	// fields are defaulted field-by-field to a serving-appropriate
+	// budget: MaxPages 50, AttemptBudget 150, 2 fetch attempts per
+	// page, 5 s fetch timeout, failure budget 20 — far tighter than the
+	// batch pipeline's paper-scale crawl, because a user is waiting.
+	// Customizing one field never discards the defaults of the rest; to
+	// explicitly disable a budget, set it negative (the crawler treats
+	// non-positive AttemptBudget/FailureBudget as unbounded/off).
 	Crawl crawler.Config
 	// Workers bounds concurrently served verify requests (<= 0: the
 	// shared parallel default — PHARMAVERIFY_WORKERS / SetDefault, then
@@ -83,19 +97,50 @@ type Config struct {
 	// MaxBatch bounds the domains of one request (default 64).
 	MaxBatch int
 
+	// GraphMaxNodes bounds the distinct domains of the live link graph
+	// beyond the model's training graph (default 100 000); once
+	// saturated, new names are dropped and the network source abstains
+	// for domains it could not admit.
+	GraphMaxNodes int
+	// GraphMaxOut caps the outbound endpoints folded per crawl
+	// (default 200).
+	GraphMaxOut int
+	// GraphDirtyThreshold is the number of graph-changing folds that
+	// triggers a TrustRank recompute (default 16; 1 recomputes after
+	// every change). A served domain missing from the current score
+	// snapshot always forces a refresh regardless of the threshold.
+	GraphDirtyThreshold int
+	// GraphRefreshInterval is the background refresh tick bounding
+	// score staleness under sparse traffic (0 = request-driven
+	// refreshes only). Servers with a tick must be Closed.
+	GraphRefreshInterval time.Duration
+	// Registry is the optional registry-lookup evidence backend; nil
+	// leaves the registry source permanently abstaining.
+	Registry RegistryLookup
+
 	// now is the clock, injectable for cache-TTL tests.
 	now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
-	if c.Crawl.MaxPages == 0 && c.Crawl.AttemptBudget == 0 && c.Crawl.Retry.MaxAttempts == 0 {
-		c.Crawl = crawler.Config{
-			MaxPages:      50,
-			AttemptBudget: 150,
-			Retry:         crawler.RetryConfig{MaxAttempts: 2},
-			FetchTimeout:  5 * time.Second,
-			FailureBudget: 20,
-		}
+	// The crawl budget merges field-by-field: a caller setting just
+	// FetchTimeout must not silently lose the rest of the serving
+	// budget (and fall back to the crawler's 200-page, unbudgeted
+	// defaults).
+	if c.Crawl.MaxPages == 0 {
+		c.Crawl.MaxPages = 50
+	}
+	if c.Crawl.AttemptBudget == 0 {
+		c.Crawl.AttemptBudget = 150
+	}
+	if c.Crawl.Retry.MaxAttempts == 0 {
+		c.Crawl.Retry.MaxAttempts = 2
+	}
+	if c.Crawl.FetchTimeout == 0 {
+		c.Crawl.FetchTimeout = 5 * time.Second
+	}
+	if c.Crawl.FailureBudget == 0 {
+		c.Crawl.FailureBudget = 20
 	}
 	if c.BatchWorkers <= 0 {
 		c.BatchWorkers = 4
@@ -121,6 +166,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.GraphMaxNodes <= 0 {
+		c.GraphMaxNodes = 100_000
+	}
+	if c.GraphMaxOut <= 0 {
+		c.GraphMaxOut = 200
+	}
+	if c.GraphDirtyThreshold <= 0 {
+		c.GraphDirtyThreshold = 16
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -141,18 +195,22 @@ type modelSlot struct {
 // Handler on an http.Server, swap models with SwapModel, and flip
 // SetDraining before shutting the listener down.
 type Server struct {
-	cfg    Config
-	fetch  crawler.Fetcher
-	pre    *textproc.Preprocessor
-	model  atomic.Pointer[modelSlot]
-	cache  *verdictCache
-	flight *flightGroup
-	adm    *admission
-	met    *metrics
-	agg    *crawler.Aggregator
-	start  time.Time
+	cfg     Config
+	fetch   crawler.Fetcher
+	pre     *textproc.Preprocessor
+	model   atomic.Pointer[modelSlot]
+	cache   *verdictCache
+	flight  *flightGroup
+	adm     *admission
+	met     *metrics
+	agg     *crawler.Aggregator
+	graph   *linkGraph
+	sources []EvidenceSource
+	start   time.Time
 
-	draining atomic.Bool
+	stopc     chan struct{}
+	closeOnce sync.Once
+	draining  atomic.Bool
 }
 
 // New builds a Server around an initial trained model.
@@ -164,6 +222,8 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 		return nil, errors.New("serve: Config.Fetcher is required")
 	}
 	cfg = cfg.withDefaults()
+	met := newMetrics()
+	graph := newLinkGraph(cfg, met)
 	s := &Server{
 		cfg:    cfg,
 		fetch:  cfg.Fetcher,
@@ -171,13 +231,47 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 		cache:  newVerdictCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
 		flight: newFlightGroup(cfg.MaxTimeout),
 		adm:    newAdmission(parallel.Workers(cfg.Workers), cfg.QueueDepth),
-		met:    newMetrics(),
+		met:    met,
 		agg:    &crawler.Aggregator{},
-		start:  cfg.now(),
+		graph:  graph,
+		// The ordered evidence backends of a fused verdict. Order is
+		// presentation only — every contributing source carries equal
+		// weight in the fusion.
+		sources: []EvidenceSource{
+			textSource{},
+			networkSource{graph: graph},
+			registrySource{lookup: cfg.Registry},
+		},
+		stopc: make(chan struct{}),
+		start: cfg.now(),
 	}
 	s.model.Store(&modelSlot{v: model, fingerprint: model.Fingerprint(), loaded: cfg.now()})
+	if cfg.GraphRefreshInterval > 0 {
+		go s.refreshLoop(cfg.GraphRefreshInterval)
+	}
 	return s, nil
 }
+
+// refreshLoop bounds link-graph score staleness under sparse traffic:
+// request-driven refreshes fire on dirtiness or cold domains, the tick
+// catches whatever dirtiness accumulated below the threshold.
+func (s *Server) refreshLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.graph.refreshIfStale(s.model.Load().v, "")
+		}
+	}
+}
+
+// Close stops the background link-graph refresher (when
+// GraphRefreshInterval is set). It is idempotent and does not affect
+// in-flight requests — HTTP shutdown remains the listener's job.
+func (s *Server) Close() { s.closeOnce.Do(func() { close(s.stopc) }) }
 
 // SwapModel atomically replaces the served model (the SIGHUP hot-reload
 // path). In-flight requests keep the slot they captured at admission;
@@ -236,6 +330,13 @@ type DomainVerdict struct {
 	NetworkProb float64 `json:"networkProb"`
 	// Pages is the number of pages the on-demand crawl collected.
 	Pages int `json:"pages"`
+	// Sources itemizes the evidence backends that contributed to this
+	// verdict, in assessment order, with each one's P(legitimate) vote.
+	Sources []SourceContribution `json:"sources,omitempty"`
+	// Partial reports that the crawl was interrupted by the serving
+	// deadline after collecting some pages: the verdict covers only the
+	// collected snapshot and was not cached, so a later request re-crawls.
+	Partial bool `json:"partial,omitempty"`
 	// Cached reports that the verdict was served from the cache; Crawl
 	// is then the telemetry of the original crawl.
 	Cached bool           `json:"cached"`
@@ -307,7 +408,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errQueueFull) {
 			s.met.queueReject.inc()
 			code = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 			writeJSON(w, code, errorBody{Error: "admission queue full, retry later"})
 			return
 		}
@@ -361,6 +462,17 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// retryAfterSecs sizes the 429 Retry-After hint to the typical service
+// time: the running mean of the request-duration histogram, rounded
+// up, floored at 1 s (the floor also covers a cold server with no
+// completed requests yet).
+func (s *Server) retryAfterSecs() int {
+	if m := s.met.requestSecs.mean(); m > 1 {
+		return int(math.Ceil(m))
+	}
+	return 1
+}
+
 // requestDomains validates and normalizes the request's domain list.
 func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
 	var domains []string
@@ -384,6 +496,7 @@ func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
 		if i := strings.IndexByte(d, '/'); i >= 0 {
 			d = d[:i]
 		}
+		d = stripPort(d)
 		if d == "" {
 			return nil, errors.New("empty domain in request")
 		}
@@ -393,6 +506,31 @@ func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// stripPort removes a trailing :port from a normalized host so
+// "pharmacy.example:8443" and "pharmacy.example" share one
+// cache/singleflight key (and cost one crawl). IPv6 literals survive:
+// "[::1]:8443" → "[::1]", and a bare "::1" (multiple colons, no
+// brackets) is left untouched. A suffix that is not a port (non-digit)
+// is kept — it is part of whatever the caller sent.
+func stripPort(d string) string {
+	if strings.HasPrefix(d, "[") {
+		if i := strings.IndexByte(d, ']'); i >= 0 {
+			return d[:i+1]
+		}
+		return d
+	}
+	i := strings.LastIndexByte(d, ':')
+	if i < 0 || strings.IndexByte(d, ':') != i {
+		return d // no colon, or an unbracketed IPv6 literal
+	}
+	for _, c := range d[i+1:] {
+		if c < '0' || c > '9' {
+			return d
+		}
+	}
+	return d[:i]
 }
 
 // rankDomains orders the batch's successful verdicts through
@@ -435,19 +573,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 200 with the served model's
-// identity while accepting traffic, 503 once draining.
+// identity and per-source evidence health while accepting traffic, 503
+// once draining.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	slot := s.model.Load()
+	sources := make([]map[string]any, len(s.sources))
+	for i, src := range s.sources {
+		sources[i] = map[string]any{"name": src.Name(), "healthy": src.Healthy()}
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "draining",
-			"model":  slot.fingerprint,
+			"status":  "draining",
+			"model":   slot.fingerprint,
+			"sources": sources,
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ready",
-		"model":  slot.fingerprint,
+		"status":  "ready",
+		"model":   slot.fingerprint,
+		"sources": sources,
 	})
 }
 
@@ -461,6 +606,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Domain verifications by outcome.", "outcome", s.met.domains)
 	writeLabelCounter(w, "pharmaverify_verdicts_total",
 		"Fresh verdicts by class.", "verdict", s.met.verdicts)
+	writeLabelCounter(w, "pharmaverify_source_contributions_total",
+		"Evidence contributions fused into verdicts, by source.", "source", s.met.sourceContribs)
+	writeLabelCounter(w, "pharmaverify_source_errors_total",
+		"Evidence-source failures (the verdict degraded to the remaining sources).", "source", s.met.sourceErrors)
+
+	ls := s.graph.live.Stats()
+	writeMetric(w, "pharmaverify_linkgraph_folds_total", "Crawl observations folded into the live link graph.", "counter", fmt.Sprint(ls.Folds))
+	writeMetric(w, "pharmaverify_linkgraph_dropped_names_total", "Domain names rejected by the link-graph node bound.", "counter", fmt.Sprint(ls.DroppedNames))
+	writeMetric(w, "pharmaverify_linkgraph_dropped_endpoints_total", "Outbound endpoints cut by the per-domain cap.", "counter", fmt.Sprint(ls.DroppedEndpoints))
+	writeMetric(w, "pharmaverify_linkgraph_dirty", "Graph-changing folds not yet reflected in the served TrustRank scores.", "gauge", fmt.Sprint(s.graph.dirty()))
+	writeMetric(w, "pharmaverify_linkgraph_refreshes_total", "TrustRank score recomputes since start.", "counter", fmt.Sprint(s.met.graphRefreshes.value()))
+	if snap := s.graph.snap.Load(); snap != nil {
+		writeMetric(w, "pharmaverify_linkgraph_nodes", "Nodes of the fused (training + live) graph behind the served scores.", "gauge", fmt.Sprint(snap.nodes))
+		writeMetric(w, "pharmaverify_linkgraph_edges", "Edges of the fused graph behind the served scores.", "gauge", fmt.Sprint(snap.edges))
+	}
 
 	hits, misses, expiries, evictions := s.cache.stats()
 	writeMetric(w, "pharmaverify_cache_hits_total", "Verdict cache hits.", "counter", fmt.Sprint(hits))
@@ -491,7 +651,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeHistogram(w, "pharmaverify_crawl_duration_seconds", "Wall time of one on-demand crawl.", s.met.crawlSecs)
 	writeHistogram(w, "pharmaverify_preprocess_duration_seconds", "Wall time of summarize + stop-word removal + link extraction for one domain.", s.met.preprocessSecs)
-	writeHistogram(w, "pharmaverify_featurize_duration_seconds", "Wall time of trust-graph construction and sparse text vectorization for one assessment.", s.met.featurizeSecs)
-	writeHistogram(w, "pharmaverify_classify_duration_seconds", "Wall time of the model probability computations for one assessment.", s.met.classifySecs)
+	writeHistogramVec(w, "pharmaverify_source_duration_seconds", "Wall time of one evidence-source assessment.", "source", s.met.sourceSecs)
+	writeHistogram(w, "pharmaverify_linkgraph_refresh_duration_seconds", "Wall time of one TrustRank score recompute.", s.met.refreshSecs)
 	writeHistogram(w, "pharmaverify_request_duration_seconds", "Wall time of one verify request.", s.met.requestSecs)
 }

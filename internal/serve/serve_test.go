@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -135,6 +138,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -450,8 +454,10 @@ func TestQueueFullSheds429(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("overload request got %d, want 429", code)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Error("429 response missing Retry-After")
+	// The hint is derived from the request-duration mean, floored at 1 s
+	// — always a positive integer number of seconds.
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("429 Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
 	}
 
 	close(gate.release)
@@ -614,8 +620,12 @@ func TestHealthzReadyz(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ready struct {
-		Status string `json:"status"`
-		Model  string `json:"model"`
+		Status  string `json:"status"`
+		Model   string `json:"model"`
+		Sources []struct {
+			Name    string `json:"name"`
+			Healthy bool   `json:"healthy"`
+		} `json:"sources"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		t.Fatal(err)
@@ -623,6 +633,15 @@ func TestHealthzReadyz(t *testing.T) {
 	resp.Body.Close()
 	if ready.Status != "ready" || ready.Model != v.Fingerprint() {
 		t.Errorf("unexpected /readyz payload: %+v", ready)
+	}
+	// The evidence backends report health on readiness, in fusion order.
+	if len(ready.Sources) != 3 {
+		t.Fatalf("/readyz lists %d sources, want 3: %+v", len(ready.Sources), ready.Sources)
+	}
+	for i, want := range []string{"text", "network", "registry"} {
+		if ready.Sources[i].Name != want || !ready.Sources[i].Healthy {
+			t.Errorf("source %d = %+v, want healthy %q", i, ready.Sources[i], want)
+		}
 	}
 }
 
@@ -633,13 +652,357 @@ func TestRequestDomainsNormalization(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, err := s.requestDomains(VerifyRequest{Domains: []string{
-		"HTTPS://WWW.Example.COM/checkout?x=1", "example.com", " other.net ",
+		"HTTPS://WWW.Example.COM/checkout?x=1", "example.com:443", "example.com", " other.net ",
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A :port variant normalizes to the same domain (one crawl, one
+	// cache key), so "example.com:443" dedupes against "example.com".
 	want := []string{"example.com", "other.net"}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Errorf("requestDomains = %v, want %v", got, want)
+	}
+}
+
+func TestStripPort(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"example.com:8443", "example.com"},
+		{"example.com:", "example.com"},
+		{"example.com:http", "example.com:http"}, // not a port: kept
+		{"[::1]:8443", "[::1]"},                  // bracketed IPv6 + port
+		{"[2001:db8::1]", "[2001:db8::1]"},
+		{"::1", "::1"}, // bare IPv6 literal survives
+		{"2001:db8::443", "2001:db8::443"},
+	} {
+		if got := stripPort(tc.in); got != tc.want {
+			t.Errorf("stripPort(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestConfigCrawlDefaultsMergeFieldwise: customizing one crawl-budget
+// field must keep the serving defaults of the rest — the old code
+// replaced the whole struct only when MaxPages, AttemptBudget and
+// Retry.MaxAttempts were all zero, silently reverting a partly
+// customized budget to the crawler's batch-scale defaults.
+func TestConfigCrawlDefaultsMergeFieldwise(t *testing.T) {
+	cfg := Config{Crawl: crawler.Config{FetchTimeout: 123 * time.Millisecond}}.withDefaults()
+	if cfg.Crawl.FetchTimeout != 123*time.Millisecond {
+		t.Errorf("customized FetchTimeout overwritten: %v", cfg.Crawl.FetchTimeout)
+	}
+	if cfg.Crawl.MaxPages != 50 || cfg.Crawl.AttemptBudget != 150 ||
+		cfg.Crawl.Retry.MaxAttempts != 2 || cfg.Crawl.FailureBudget != 20 {
+		t.Errorf("one customized field discarded the other serving defaults: %+v", cfg.Crawl)
+	}
+
+	// Explicit negatives disable a budget (the crawler treats
+	// non-positive as unbounded/off) and must survive defaulting.
+	cfg = Config{Crawl: crawler.Config{MaxPages: 7, AttemptBudget: -1}}.withDefaults()
+	if cfg.Crawl.MaxPages != 7 || cfg.Crawl.AttemptBudget != -1 {
+		t.Errorf("explicit values overwritten: %+v", cfg.Crawl)
+	}
+	if cfg.Crawl.Retry.MaxAttempts != 2 {
+		t.Errorf("unset retry not defaulted alongside set fields: %+v", cfg.Crawl.Retry)
+	}
+}
+
+func TestRetryAfterDerivedFromRequestMean(t *testing.T) {
+	w, _, v := testVerifier(t)
+	s, err := New(v, Config{Fetcher: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	if got := s.retryAfterSecs(); got != 1 {
+		t.Errorf("cold server Retry-After = %d, want the 1 s floor", got)
+	}
+	s.met.requestSecs.observe(0.05)
+	if got := s.retryAfterSecs(); got != 1 {
+		t.Errorf("sub-second mean Retry-After = %d, want the 1 s floor", got)
+	}
+	s.met.requestSecs.observe(8.95) // mean now (0.05+8.95)/2 = 4.5 s
+	if got := s.retryAfterSecs(); got != 5 {
+		t.Errorf("Retry-After = %d, want ceil(4.5 s mean) = 5", got)
+	}
+}
+
+// limitedFetcher passes the first allow fetches through and blocks the
+// rest until release is closed; blocked is closed when the first fetch
+// hits the gate.
+type limitedFetcher struct {
+	inner   crawler.Fetcher
+	allow   atomic.Int32
+	n       atomic.Int32
+	once    sync.Once
+	blocked chan struct{}
+	release chan struct{}
+}
+
+func (l *limitedFetcher) Fetch(domain, path string) (string, error) {
+	if l.n.Add(1) > l.allow.Load() {
+		l.once.Do(func() { close(l.blocked) })
+		<-l.release
+	}
+	return l.inner.Fetch(domain, path)
+}
+
+// multiPageDomain returns a domain whose site has at least three pages,
+// so a crawl can be interrupted with the root collected and the
+// frontier still pending.
+func multiPageDomain(t *testing.T) string {
+	t.Helper()
+	_, snapshot, _ := testVerifier(t)
+	for _, p := range snapshot.Pharmacies {
+		if p.Pages >= 3 {
+			return p.Domain
+		}
+	}
+	t.Fatal("test world has no multi-page site")
+	return ""
+}
+
+// TestPartialCrawlServesDegradedVerdict: a crawl interrupted by the
+// serving deadline after collecting pages must yield a verdict over the
+// partial snapshot (marked Partial, never cached) instead of the
+// pre-fix behavior of discarding the pages and failing the domain.
+func TestPartialCrawlServesDegradedVerdict(t *testing.T) {
+	w, _, v := testVerifier(t)
+	domain := multiPageDomain(t)
+
+	lf := &limitedFetcher{inner: w, blocked: make(chan struct{}), release: make(chan struct{})}
+	lf.allow.Store(2) // robots.txt + the root page, then the gate closes
+	s, err := New(v, Config{Fetcher: lf, MaxTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// The flight's detached context expires at MaxTimeout while the
+	// crawl is gated; the caller itself has unlimited budget and gets
+	// the degraded verdict.
+	got := s.verifyDomain(context.Background(), s.model.Load(), domain, false)
+	if got.Error != "" {
+		t.Fatalf("interrupted crawl failed the domain instead of degrading: %+v", got)
+	}
+	if !got.Partial {
+		t.Fatalf("verdict over an interrupted crawl not marked partial: %+v", got)
+	}
+	if got.Pages == 0 || len(got.Sources) == 0 {
+		t.Fatalf("partial verdict missing pages or source contributions: %+v", got)
+	}
+	if got.Crawl == nil || got.Crawl.Cancels == 0 {
+		t.Errorf("partial verdict's crawl telemetry does not record the interruption: %+v", got.Crawl)
+	}
+	if keys, counts := partialOutcomes(s); keys == 0 || counts == 0 {
+		t.Error("partial outcome not counted in the domains metric")
+	}
+
+	// A partial verdict must not be cached: with the gate open the next
+	// request re-crawls in full and only that complete verdict sticks.
+	lf.allow.Store(1 << 30)
+	close(lf.release)
+	second := s.verifyDomain(context.Background(), s.model.Load(), domain, false)
+	if second.Cached {
+		t.Fatal("partial verdict was served from the cache")
+	}
+	if second.Partial || second.Error != "" {
+		t.Fatalf("unimpeded re-crawl still degraded: %+v", second)
+	}
+	if third := s.verifyDomain(context.Background(), s.model.Load(), domain, false); !third.Cached {
+		t.Error("complete verdict not cached")
+	}
+}
+
+// partialOutcomes reports whether the "partial" outcome was counted.
+func partialOutcomes(s *Server) (present int, count uint64) {
+	keys, counts := s.met.domains.snapshot()
+	for i, k := range keys {
+		if k == "partial" {
+			return 1, counts[i]
+		}
+	}
+	return 0, 0
+}
+
+// TestInterruptedCrawlWithNoPagesErrors: an interruption before any
+// page was collected is still an error — and the error wraps the real
+// cancellation cause instead of formatting a nil ctx.Err().
+func TestInterruptedCrawlWithNoPagesErrors(t *testing.T) {
+	w, _, v := testVerifier(t)
+	domain := pickDomain(t, true)
+	gate := &gatedFetcher{inner: w, started: make(chan string, 8), release: make(chan struct{})}
+	s, err := New(v, Config{Fetcher: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.assess(ctx, s.model.Load(), domain)
+		errc <- err
+	}()
+	select {
+	case <-gate.started: // robots.txt is gated: zero pages collected
+	case <-time.After(5 * time.Second):
+		t.Fatal("crawl never reached the fetcher")
+	}
+	cancel()
+	aerr := <-errc
+	close(gate.release)
+
+	if aerr == nil {
+		t.Fatal("zero-page interrupted crawl produced no error")
+	}
+	if !errors.Is(aerr, context.Canceled) {
+		t.Errorf("error %v does not wrap the cancellation cause", aerr)
+	}
+	if !strings.Contains(aerr.Error(), "interrupted") {
+		t.Errorf("error %q does not say the crawl was interrupted", aerr)
+	}
+	if strings.Contains(aerr.Error(), "%!w") {
+		t.Errorf("error %q formatted a nil wrap target", aerr)
+	}
+}
+
+// assertMatchesOffline pins one served fused verdict against the
+// offline pipeline's assessment of the same observation.
+func assertMatchesOffline(t *testing.T, got DomainVerdict, want core.Assessment) {
+	t.Helper()
+	if got.Legitimate != want.Legitimate || got.TextProb != want.TextProb ||
+		got.TrustScore != want.TrustScore || got.NetworkProb != want.NetworkProb ||
+		got.Rank != want.Rank {
+		t.Errorf("online verdict %+v disagrees with offline assessment %+v", got, want)
+	}
+	// The response itemizes exactly the contributing backends, with the
+	// probabilities the fused fields report.
+	if len(got.Sources) != 2 || got.Sources[0].Name != "text" || got.Sources[1].Name != "network" ||
+		got.Sources[0].Prob != got.TextProb || got.Sources[1].Prob != got.NetworkProb {
+		t.Errorf("sources %+v don't itemize the text+network fusion", got.Sources)
+	}
+}
+
+// TestFusedVerdictMatchesOfflinePipeline: with the dirty threshold at 1
+// (recompute after every graph change), serving verdicts are
+// bit-identical to the offline ensemble over the same crawl set — the
+// staleness contract's convergence guarantee.
+func TestFusedVerdictMatchesOfflinePipeline(t *testing.T) {
+	w, snapshot, v := testVerifier(t)
+	_, ts := newTestServer(t, Config{Fetcher: w, Workers: 2, GraphDirtyThreshold: 1})
+
+	byDomain := map[string]dataset.Pharmacy{}
+	for _, p := range snapshot.Pharmacies {
+		byDomain[p.Domain] = p
+	}
+	d1, d2 := pickDomain(t, true), pickDomain(t, false)
+
+	// First domain: the offline equivalent is a batch of one.
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: d1})
+	if code != http.StatusOK || resp.Results[0].Error != "" {
+		t.Fatalf("verify %s: code %d, %+v", d1, code, resp.Results)
+	}
+	assertMatchesOffline(t, resp.Results[0], v.Assess([]dataset.Pharmacy{byDomain[d1]})[0])
+
+	// Second domain: the live graph now holds both crawls, so the
+	// offline equivalent is the two-domain batch.
+	code, resp, _ = postVerify(t, ts.URL, VerifyRequest{Domain: d2})
+	if code != http.StatusOK || resp.Results[0].Error != "" {
+		t.Fatalf("verify %s: code %d, %+v", d2, code, resp.Results)
+	}
+	assertMatchesOffline(t, resp.Results[0], v.Assess([]dataset.Pharmacy{byDomain[d1], byDomain[d2]})[1])
+}
+
+// TestRegistryEvidenceJoinsFusion: a configured registry backend votes
+// into the fusion and its contribution is itemized; the decision is the
+// equal-weight average over every recorded vote.
+func TestRegistryEvidenceJoinsFusion(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	domain := pickDomain(t, false)
+	_, ts := newTestServer(t, Config{
+		Fetcher:  w,
+		Registry: NewStaticRegistry(map[string]bool{domain: true}),
+	})
+
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK || resp.Results[0].Error != "" {
+		t.Fatalf("verify: code %d, %+v", code, resp.Results)
+	}
+	got := resp.Results[0]
+	if len(got.Sources) != 3 || got.Sources[2].Name != "registry" || got.Sources[2].Prob != 1 {
+		t.Fatalf("sources %+v, want text+network plus a registry vote of 1", got.Sources)
+	}
+	var sum float64
+	for _, c := range got.Sources {
+		sum += c.Prob
+	}
+	if want := sum/float64(len(got.Sources)) >= 0.5; got.Legitimate != want {
+		t.Errorf("Legitimate = %v, want the fused average rule (%v) over %+v", got.Legitimate, want, got.Sources)
+	}
+
+	// An unregistered domain keeps the two-source fusion.
+	other := pickDomain(t, true)
+	if other != domain {
+		_, resp, _ = postVerify(t, ts.URL, VerifyRequest{Domain: other})
+		if len(resp.Results[0].Sources) != 2 {
+			t.Errorf("unregistered domain fused %+v, want text+network only", resp.Results[0].Sources)
+		}
+	}
+}
+
+// TestConcurrentServingFoldsAndRefreshes hammers the serving path with
+// concurrent re-crawls (Refresh bypasses the cache, so every request
+// folds into the live graph) while the dirty threshold of 1 and a fast
+// background tick force TrustRank recomputes to race the folds. It
+// exists to run under -race.
+func TestConcurrentServingFoldsAndRefreshes(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	s, ts := newTestServer(t, Config{
+		Fetcher: w, Workers: 8, QueueDepth: 1024,
+		GraphDirtyThreshold: 1, GraphRefreshInterval: time.Millisecond,
+	})
+
+	var domains []string
+	for d := range w.Labels() {
+		domains = append(domains, d)
+		if len(domains) == 6 {
+			break
+		}
+	}
+	var (
+		wg  sync.WaitGroup
+		bad atomic.Int32
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				d := domains[(g+i)%len(domains)]
+				code, vr, _ := postVerify(t, ts.URL, VerifyRequest{Domain: d, Refresh: true})
+				if code != http.StatusOK || len(vr.Results) != 1 || vr.Results[0].Error != "" {
+					bad.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() > 0 {
+		t.Fatalf("%d of 32 concurrent refresh requests failed", bad.Load())
+	}
+	if s.graph.snap.Load() == nil {
+		t.Fatal("no score snapshot after concurrent serving")
+	}
+	if s.met.graphRefreshes.value() == 0 {
+		t.Error("no TrustRank refreshes despite a dirty threshold of 1")
+	}
+	// Concurrent same-domain refreshes share a flight, so the fold count
+	// is between the domain count and the request count.
+	if st := s.graph.live.Stats(); st.Folds < uint64(len(domains)) {
+		t.Errorf("folds = %d, want at least one per domain (%d)", st.Folds, len(domains))
 	}
 }

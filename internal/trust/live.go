@@ -1,0 +1,178 @@
+package trust
+
+import "sync"
+
+// LiveConfig bounds an incrementally maintained link graph.
+type LiveConfig struct {
+	// MaxNodes bounds the distinct domain names (sources and endpoints)
+	// the graph admits (default 100 000). Once the bound is reached, new
+	// names are dropped and counted in LiveStats.DroppedNames; edges
+	// between already-admitted names are still recorded, so a saturated
+	// graph keeps refining what it already knows instead of growing.
+	MaxNodes int
+	// MaxOutPerDomain caps the endpoints kept per fold (default 200); a
+	// link farm spraying thousands of outbound domains cannot flood the
+	// node budget from one crawl.
+	MaxOutPerDomain int
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 100_000
+	}
+	if c.MaxOutPerDomain <= 0 {
+		c.MaxOutPerDomain = 200
+	}
+	return c
+}
+
+// LiveStats is a point-in-time snapshot of a LiveGraph's accounting.
+type LiveStats struct {
+	// Nodes and Edges describe the current live graph.
+	Nodes, Edges int
+	// Folds counts Fold calls; Version counts the folds that actually
+	// changed the edge set (re-observing identical endpoints is free).
+	Folds, Version uint64
+	// DroppedNames counts names rejected by the MaxNodes bound;
+	// DroppedEndpoints counts endpoints cut by MaxOutPerDomain.
+	DroppedNames, DroppedEndpoints uint64
+}
+
+// LiveGraph is a bounded, mutex-protected link graph maintained
+// incrementally from serving crawls: every on-demand crawl folds its
+// outbound endpoints in, and consumers snapshot the accumulated
+// structure to recompute TrustRank without rebuilding per request. It
+// is safe for concurrent use.
+//
+// Unlike Graph (an immutable id-interned structure built once by
+// BuildGraph), LiveGraph stores adjacency as domain → endpoint lists so
+// a re-crawled domain replaces its edge set in place. Fold never
+// mutates a previously installed endpoint slice, so SnapshotOutbound
+// can hand out a shallow copy that stays valid while folds continue.
+type LiveGraph struct {
+	cfg LiveConfig
+
+	mu    sync.Mutex
+	out   map[string][]string
+	names map[string]struct{}
+	edges int
+	stats LiveStats
+}
+
+// NewLiveGraph returns an empty bounded live graph.
+func NewLiveGraph(cfg LiveConfig) *LiveGraph {
+	return &LiveGraph{
+		cfg:   cfg.withDefaults(),
+		out:   make(map[string][]string),
+		names: make(map[string]struct{}),
+	}
+}
+
+// admit interns a name within the node budget, reporting whether the
+// name is (now) part of the graph. Callers hold l.mu.
+func (l *LiveGraph) admit(name string) bool {
+	if _, ok := l.names[name]; ok {
+		return true
+	}
+	if len(l.names) >= l.cfg.MaxNodes {
+		l.stats.DroppedNames++
+		return false
+	}
+	l.names[name] = struct{}{}
+	return true
+}
+
+// Fold records a crawl observation: domain links to endpoints. A
+// repeated fold replaces the domain's previous endpoint set (the
+// freshest crawl wins). It reports whether the domain itself was
+// admitted into the graph — false only when the node budget is
+// exhausted and the domain was never seen before, in which case the
+// caller should degrade to its other evidence sources.
+func (l *LiveGraph) Fold(domain string, endpoints []string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Folds++
+	if !l.admit(domain) {
+		return false
+	}
+	kept := make([]string, 0, len(endpoints))
+	seen := make(map[string]struct{}, len(endpoints))
+	for _, ep := range endpoints {
+		if ep == domain {
+			continue
+		}
+		if _, dup := seen[ep]; dup {
+			continue
+		}
+		if len(kept) >= l.cfg.MaxOutPerDomain {
+			l.stats.DroppedEndpoints++
+			continue
+		}
+		if !l.admit(ep) {
+			continue
+		}
+		seen[ep] = struct{}{}
+		kept = append(kept, ep)
+	}
+	if equalStrings(l.out[domain], kept) {
+		return true
+	}
+	l.edges += len(kept) - len(l.out[domain])
+	l.out[domain] = kept
+	l.stats.Version++
+	return true
+}
+
+// Contains reports whether name has been admitted (as a source or an
+// endpoint).
+func (l *LiveGraph) Contains(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.names[name]
+	return ok
+}
+
+// Version returns the number of graph-changing folds so far; consumers
+// compare it with the version captured at their last recompute to
+// measure dirtiness.
+func (l *LiveGraph) Version() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.Version
+}
+
+// Stats returns a copy of the graph's accounting.
+func (l *LiveGraph) Stats() LiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Nodes = len(l.names)
+	st.Edges = l.edges
+	return st
+}
+
+// SnapshotOutbound returns a shallow copy of the adjacency (the
+// endpoint slices are shared but never mutated after installation) plus
+// the version it corresponds to, for an atomic dirty-tracking
+// recompute.
+func (l *LiveGraph) SnapshotOutbound() (map[string][]string, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := make(map[string][]string, len(l.out))
+	for d, eps := range l.out {
+		cp[d] = eps
+	}
+	return cp, l.stats.Version
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
