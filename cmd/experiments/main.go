@@ -33,20 +33,22 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "dataset scale: small or full (paper sizes)")
-		table     = flag.String("table", "", "regenerate one table/artifact by ID (1,3..17,F1..F3,A1..A4)")
-		figure    = flag.String("figure", "", "regenerate one figure by number (1..3)")
-		all       = flag.Bool("all", false, "regenerate every artifact")
-		list      = flag.Bool("list", false, "list available artifacts")
-		format    = flag.String("format", "text", "output format: text or markdown")
-		workers   = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
-		benchJSON   = flag.String("bench-json", "", "run the sequential-vs-parallel benchmark and write the JSON report to this file ('-' for stdout)")
-		kernelCheck = flag.String("bench-kernel-check", "", "re-run the feature-kernel micro-benchmarks and exit non-zero if they regressed against this baseline report (e.g. BENCH_evaluation.json)")
+		scaleName   = flag.String("scale", "small", "dataset scale: small or full (paper sizes)")
+		table       = flag.String("table", "", "regenerate one table/artifact by ID (1,3..17,F1..F3,A1..A4)")
+		figure      = flag.String("figure", "", "regenerate one figure by number (1..3)")
+		all         = flag.Bool("all", false, "regenerate every artifact")
+		list        = flag.Bool("list", false, "list available artifacts")
+		format      = flag.String("format", "text", "output format: text or markdown")
+		workers     = flag.Int("workers", 0, "worker-pool size for parallel evaluation (0 = GOMAXPROCS; 1 = sequential)")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		benchJSON   = flag.String("bench-json", "", "run the worker-matrix benchmark and write the JSON report to this file ('-' for stdout)")
+		kernelCheck = flag.String("bench-kernel-check", "", "re-run the feature-kernel micro-benchmarks and exit non-zero if they regressed against this baseline report (e.g. BENCH_evaluation.json); also gates the baseline's recorded parallel efficiency")
 		kernelTol   = flag.Float64("bench-tolerance", 1.5, "tolerance band for -bench-kernel-check: current speedup may be down to baseline/tol")
-		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
-		version   = flag.Bool("version", false, "print build information and exit")
+		effCheck    = flag.String("bench-efficiency-check", "", "check the parallel efficiency of heavy entries in this benchmark report and exit non-zero below the floor (no re-run; reads the report only)")
+		effFloor    = flag.Float64("bench-efficiency-floor", 0, "parallel-efficiency floor for the efficiency checks (0 = the built-in default)")
+		cpuProf     = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memProf     = flag.String("memprofile", "", "write a runtime/pprof heap profile at exit to this file")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
@@ -107,6 +109,47 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("kernel regression check passed against %s (tolerance %.2f)\n", *kernelCheck, *kernelTol)
+		if err := bench.CheckParallelEfficiency(&base, *effFloor); err != nil {
+			fatal(err)
+		}
+		if base.GoMaxProcs <= 1 || base.Workers <= 1 {
+			fmt.Printf("parallel-efficiency check skipped: baseline recorded at gomaxprocs=%d workers=%d (needs a multi-core run)\n",
+				base.GoMaxProcs, base.Workers)
+		} else {
+			fmt.Println("parallel-efficiency check passed on the baseline report")
+		}
+		return
+	}
+
+	// The efficiency check only reads an existing report (typically one a
+	// CI bench job just generated on a multi-core runner) — no dataset or
+	// re-measurement needed.
+	if *effCheck != "" {
+		data, err := os.ReadFile(*effCheck)
+		if err != nil {
+			fatal(err)
+		}
+		var rep bench.BenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatal(fmt.Errorf("parse report %s: %w", *effCheck, err))
+		}
+		for _, e := range rep.Entries {
+			if !e.Heavy || len(e.Legs) == 0 {
+				continue
+			}
+			last := e.Legs[len(e.Legs)-1]
+			fmt.Printf("%-4s %8v sequential, %.2fx at %d workers, efficiency %.2f, identical=%v\n",
+				e.ID, time.Duration(e.SequentialNS).Round(time.Millisecond), last.Speedup, last.Workers, last.Efficiency, e.Identical)
+		}
+		if err := bench.CheckParallelEfficiency(&rep, *effFloor); err != nil {
+			fatal(err)
+		}
+		if rep.GoMaxProcs <= 1 || rep.Workers <= 1 {
+			fmt.Printf("parallel-efficiency check skipped: report recorded at gomaxprocs=%d workers=%d (needs a multi-core run)\n",
+				rep.GoMaxProcs, rep.Workers)
+		} else {
+			fmt.Printf("parallel-efficiency check passed for %s\n", *effCheck)
+		}
 		return
 	}
 
@@ -176,11 +219,19 @@ func main() {
 		if err := rep.WriteJSON(out); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchmark: %d artifacts, total %v sequential vs %v parallel (%.2fx, workers=%d, identical=%v)\n",
-			len(rep.Entries),
+		fmt.Printf("benchmark: %d artifacts, worker matrix %v, total %v sequential vs %v parallel (%.2fx, identical=%v)\n",
+			len(rep.Entries), rep.WorkerMatrix,
 			time.Duration(rep.TotalSequentialNS).Round(time.Millisecond),
 			time.Duration(rep.TotalParallelNS).Round(time.Millisecond),
-			rep.TotalSpeedup, rep.Workers, rep.AllIdentical)
+			rep.TotalSpeedup, rep.AllIdentical)
+		for _, e := range rep.Entries {
+			if !e.Heavy {
+				continue
+			}
+			last := e.Legs[len(e.Legs)-1]
+			fmt.Printf("heavy  %-4s %8v sequential, %.2fx at %d workers, efficiency %.2f\n",
+				e.ID, time.Duration(e.SequentialNS).Round(time.Millisecond), last.Speedup, last.Workers, last.Efficiency)
+		}
 		for _, k := range rep.Kernels {
 			fmt.Printf("kernel %-18s %.2fx faster, %.1f -> %.1f allocs/op, identical=%v\n",
 				k.ID, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)

@@ -17,20 +17,52 @@ var benchEpoch = time.Now()
 
 func monotonicNS() int64 { return int64(time.Since(benchEpoch)) }
 
-// BenchEntry records the sequential-vs-parallel measurement of one
-// artifact runner.
+// BenchLeg is one measured run of a runner at a fixed worker count.
+type BenchLeg struct {
+	Workers int   `json:"workers"`
+	NS      int64 `json:"ns"`
+	// Allocs / Bytes are runtime.MemStats Mallocs / TotalAlloc deltas.
+	// Process-wide, so background allocation adds noise; the harness
+	// runs legs back-to-back in one goroutine to keep them comparable.
+	Allocs uint64 `json:"allocs"`
+	Bytes  uint64 `json:"bytes"`
+	// Speedup is the 1-worker leg's NS divided by this leg's NS.
+	Speedup float64 `json:"speedup"`
+	// Efficiency is Speedup divided by Workers: 1.0 is perfect linear
+	// scaling, values near 1/Workers mean the extra cores bought
+	// nothing. Only meaningful when GOMAXPROCS allows the workers to
+	// actually run in parallel.
+	Efficiency float64 `json:"efficiency"`
+	// Identical is true when this leg's rendered table bytes equal the
+	// 1-worker leg's exactly.
+	Identical bool `json:"identical"`
+}
+
+// heavyThresholdNS classifies entries for the parallel-efficiency gate:
+// entries whose sequential leg runs at least this long (1 s) are
+// dominated by the fan-out work the gate is meant to watch; sub-second
+// entries are dominated by fixed setup cost and scale poorly no matter
+// how healthy the worker pool is.
+const heavyThresholdNS = int64(time.Second)
+
+// BenchEntry records the worker-scaling measurement of one artifact
+// runner: one leg per worker count in the report's matrix.
 type BenchEntry struct {
 	ID   string `json:"id"`
 	Desc string `json:"desc"`
-	// SequentialNS / ParallelNS are wall-clock times of the Workers=1
-	// and Workers=N legs, in nanoseconds.
+	// Legs holds one measurement per worker count, ascending; Legs[0]
+	// is always the 1-worker sequential baseline.
+	Legs []BenchLeg `json:"legs"`
+	// Heavy marks entries whose sequential leg reached heavyThresholdNS;
+	// only heavy entries are judged by the parallel-efficiency gate.
+	Heavy bool `json:"heavy"`
+	// SequentialNS / ParallelNS mirror the first and last legs'
+	// wall-clock times (back-compat with pre-matrix reports and the
+	// rendered table).
 	SequentialNS int64 `json:"sequential_ns"`
 	ParallelNS   int64 `json:"parallel_ns"`
 	// SequentialAllocs / ParallelAllocs are heap allocation counts
-	// (runtime.MemStats.Mallocs deltas) for each leg. They are
-	// process-wide deltas, so background allocation adds noise; the
-	// harness runs legs back-to-back in one goroutine to keep the
-	// numbers comparable.
+	// (runtime.MemStats.Mallocs deltas) for the first and last legs.
 	SequentialAllocs uint64 `json:"sequential_allocs"`
 	ParallelAllocs   uint64 `json:"parallel_allocs"`
 	// SequentialBytes / ParallelBytes are TotalAlloc deltas.
@@ -38,20 +70,24 @@ type BenchEntry struct {
 	ParallelBytes   uint64 `json:"parallel_bytes"`
 	// Speedup is SequentialNS / ParallelNS.
 	Speedup float64 `json:"speedup"`
-	// Identical is the determinism check: true when the rendered table
-	// bytes of the parallel leg equal the sequential leg's exactly.
+	// Identical is the determinism check: true when every leg's rendered
+	// table bytes equal the sequential leg's exactly.
 	Identical bool `json:"identical"`
 }
 
 // BenchReport is the machine-readable benchmark artifact emitted by
 // `experiments -bench-json` (BENCH_evaluation.json).
 type BenchReport struct {
-	Scale      string       `json:"scale"`
-	Seed       int64        `json:"seed"`
-	Workers    int          `json:"workers"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	GoVersion  string       `json:"go_version"`
-	Entries    []BenchEntry `json:"entries"`
+	Scale   string `json:"scale"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	// WorkerMatrix lists the worker counts each entry was measured at,
+	// ascending; it always starts with 1 and ends with Workers.
+	WorkerMatrix []int        `json:"worker_matrix"`
+	NumCPU       int          `json:"num_cpu"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	GoVersion    string       `json:"go_version"`
+	Entries      []BenchEntry `json:"entries"`
 	// Kernels are the single-pass feature-kernel micro-benchmarks
 	// (naive reference vs optimized path); see kernel.go.
 	Kernels []KernelEntry `json:"kernels"`
@@ -98,14 +134,29 @@ func benchLeg(base *Env, r Runner, workers int) (out []byte, ns int64, mallocs, 
 	return buf.Bytes(), ns, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
 }
 
-// RunBenchmark measures every listed runner twice — once with the
-// worker pool forced to 1 (the sequential baseline) and once with the
-// given parallel worker count — and reports wall time, allocations,
-// speedup, and whether the two rendered outputs are byte-identical,
-// plus the feature-kernel micro-benchmarks (kernel.go).
+// workerMatrix builds the ascending, deduplicated list of worker
+// counts to measure: always 1 (the baseline), an intermediate point at
+// 2 when max allows one, and max itself. Three points are enough to
+// tell "scales" from "flat" from "degrades" without tripling the run.
+func workerMatrix(max int) []int {
+	m := []int{1}
+	if max > 2 {
+		m = append(m, 2)
+	}
+	if max > 1 {
+		m = append(m, max)
+	}
+	return m
+}
+
+// RunBenchmark measures every listed runner at each worker count in
+// workerMatrix(workers) — 1 is the sequential baseline — and reports
+// wall time, allocations, speedup, per-leg parallel efficiency, and
+// whether every leg's rendered output is byte-identical to the
+// baseline's, plus the feature-kernel micro-benchmarks (kernel.go).
 // ids selects runner IDs; nil means every runner in the registry.
-// workers <= 0 uses the machine's CPU count for the parallel leg, so
-// the recorded numbers reflect an actually-parallel run even under a
+// workers <= 0 uses the machine's CPU count for the widest leg, so the
+// recorded numbers reflect an actually-parallel run even under a
 // capped GOMAXPROCS.
 func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 	if workers <= 0 {
@@ -124,40 +175,49 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 		}
 	}
 
+	matrix := workerMatrix(workers)
 	rep := &BenchReport{
 		Scale:        e.Scale.Name,
 		Seed:         e.Scale.Seed,
 		Workers:      workers,
+		WorkerMatrix: matrix,
+		NumCPU:       runtime.NumCPU(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),
 		AllIdentical: true,
 	}
 	for _, r := range runners {
-		seqOut, seqNS, seqAllocs, seqBytes, err := benchLeg(e, r, 1)
-		if err != nil {
-			return nil, err
+		entry := BenchEntry{ID: r.ID, Desc: r.Desc, Identical: true}
+		var baseOut []byte
+		for _, w := range matrix {
+			out, ns, allocs, bytesAlloc, err := benchLeg(e, r, w)
+			if err != nil {
+				return nil, err
+			}
+			leg := BenchLeg{Workers: w, NS: ns, Allocs: allocs, Bytes: bytesAlloc}
+			if w == 1 {
+				baseOut = out
+				leg.Speedup, leg.Efficiency, leg.Identical = 1, 1, true
+			} else {
+				if ns > 0 {
+					leg.Speedup = float64(entry.Legs[0].NS) / float64(ns)
+					leg.Efficiency = leg.Speedup / float64(w)
+				}
+				leg.Identical = bytes.Equal(baseOut, out)
+			}
+			if !leg.Identical {
+				entry.Identical = false
+			}
+			entry.Legs = append(entry.Legs, leg)
 		}
-		parOut, parNS, parAllocs, parBytes, err := benchLeg(e, r, workers)
-		if err != nil {
-			return nil, err
-		}
-		entry := BenchEntry{
-			ID:               r.ID,
-			Desc:             r.Desc,
-			SequentialNS:     seqNS,
-			ParallelNS:       parNS,
-			SequentialAllocs: seqAllocs,
-			ParallelAllocs:   parAllocs,
-			SequentialBytes:  seqBytes,
-			ParallelBytes:    parBytes,
-			Identical:        bytes.Equal(seqOut, parOut),
-		}
-		if parNS > 0 {
-			entry.Speedup = float64(seqNS) / float64(parNS)
-		}
+		first, last := entry.Legs[0], entry.Legs[len(entry.Legs)-1]
+		entry.Heavy = first.NS >= heavyThresholdNS
+		entry.SequentialNS, entry.SequentialAllocs, entry.SequentialBytes = first.NS, first.Allocs, first.Bytes
+		entry.ParallelNS, entry.ParallelAllocs, entry.ParallelBytes = last.NS, last.Allocs, last.Bytes
+		entry.Speedup = last.Speedup
 		rep.Entries = append(rep.Entries, entry)
-		rep.TotalSequentialNS += seqNS
-		rep.TotalParallelNS += parNS
+		rep.TotalSequentialNS += first.NS
+		rep.TotalParallelNS += last.NS
 		if !entry.Identical {
 			rep.AllIdentical = false
 		}
@@ -172,6 +232,54 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// DefaultEfficiencyFloor is the parallel-efficiency minimum enforced by
+// CheckParallelEfficiency when the caller passes a non-positive floor.
+// 0.35 means the widest leg must convert at least 35% of its extra
+// workers into speedup on heavy entries — e.g. >= 1.4x at 4 workers —
+// lax enough for hyperthreaded CI runners, strict enough to catch an
+// accidentally serialized pipeline (efficiency 1/N: 0.25 at 4 workers,
+// less on wider machines).
+const DefaultEfficiencyFloor = 0.35
+
+// CheckParallelEfficiency gates multi-core scaling: every heavy entry
+// (sequential leg >= 1 s) must keep the parallel efficiency of its
+// widest leg at or above floor, and every leg must have stayed
+// byte-identical to the sequential baseline. Reports recorded with
+// GOMAXPROCS=1 or a 1-worker matrix are skipped with a nil error —
+// worker counts beyond the scheduler's parallelism measure goroutine
+// switching, not scaling — so single-core dev machines can still run
+// the harness; CI provides the multi-core enforcement run.
+func CheckParallelEfficiency(rep *BenchReport, floor float64) error {
+	if floor <= 0 {
+		floor = DefaultEfficiencyFloor
+	}
+	if rep.GoMaxProcs <= 1 || rep.Workers <= 1 {
+		return nil
+	}
+	heavy := 0
+	for _, e := range rep.Entries {
+		if len(e.Legs) == 0 {
+			return fmt.Errorf("bench: entry %s has no legs (pre-matrix report? regenerate with `experiments -bench-json`)", e.ID)
+		}
+		if !e.Identical {
+			return fmt.Errorf("bench: entry %s: parallel output no longer byte-identical to the sequential baseline", e.ID)
+		}
+		if !e.Heavy {
+			continue
+		}
+		heavy++
+		last := e.Legs[len(e.Legs)-1]
+		if last.Efficiency < floor {
+			return fmt.Errorf("bench: entry %s: parallel efficiency %.2f at %d workers below the %.2f floor (speedup %.2fx)",
+				e.ID, last.Efficiency, last.Workers, floor, last.Speedup)
+		}
+	}
+	if heavy == 0 {
+		return fmt.Errorf("bench: no heavy entries (sequential leg >= %v) to judge — run at a scale with multi-second entries", time.Duration(heavyThresholdNS))
+	}
+	return nil
 }
 
 // WriteJSON emits the report as indented JSON.

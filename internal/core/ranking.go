@@ -184,8 +184,12 @@ func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]fl
 	legitClass, illegitClass := nggClassGraphs(docs, labels, half)
 
 	out := make([]float64, len(docs))
-	parallel.For(len(docs), 0, func(i int) {
-		out[i] = ngram.DocTextRank(docs[i], legitClass, illegitClass) / 8
+	// Chunked like NGGFeatureDataset: per-document rank computation is
+	// too fine for one-index-per-dispatch fan-out.
+	parallel.ForGrain(len(docs), 0, nggDocGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ngram.DocTextRank(docs[i], legitClass, illegitClass) / 8
+		}
 	})
 	return out, nil
 }

@@ -149,6 +149,13 @@ func nggDocuments(snap *dataset.Snapshot, terms int, seed int64) []string {
 	return docs
 }
 
+// nggDocGrain is the number of documents one worker takes per dispatch
+// in the fine-grained N-Gram-Graph passes (featurization, text ranks).
+// One document costs tens of microseconds, so ~16 per chunk makes the
+// chunk body a few hundred microseconds — large against the goroutine
+// handoff, small enough to keep the tail balanced on uneven documents.
+const nggDocGrain = 16
+
 // NGGFeatureDataset builds the 8-feature similarity dataset of Figure 2
 // for the given document texts, using class graphs merged from the
 // instances listed in classIdx (typically a random half of the training
@@ -162,11 +169,18 @@ func NGGFeatureDataset(docs []string, labels []int, names []string, classIdx []i
 	// size.
 	ds := &ml.Dataset{Dim: 8}
 	feats := make([][]float64, len(docs))
-	parallel.For(len(docs), 0, func(i int) {
+	// Grain-aware fan-out: per-document featurization is fine-grained
+	// (tens of microseconds), so documents are handed out in contiguous
+	// chunks rather than one index per dispatch — the goroutine handoff
+	// amortizes across the chunk and each worker's pooled builder scratch
+	// stays hot for a whole run of documents.
+	parallel.ForGrain(len(docs), 0, nggDocGrain, func(lo, hi int) {
 		// Pooled single-pass kernel: one traversal of the document graph
 		// computes all eight similarities, with the graph's scratch
 		// (maps, buffers) reused across the worker's documents.
-		feats[i] = ngram.DocFeatures(nil, docs[i], legitClass, illegitClass)
+		for i := lo; i < hi; i++ {
+			feats[i] = ngram.DocFeatures(nil, docs[i], legitClass, illegitClass)
+		}
 	})
 	for i, f := range feats {
 		name := ""

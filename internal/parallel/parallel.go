@@ -114,6 +114,67 @@ func For(n, workers int, f func(i int)) {
 	}
 }
 
+// ForGrain runs f over the index range [0, n) in contiguous chunks of
+// at most grain indices: f(lo, hi) processes indices lo <= i < hi.
+// Chunks are dispatched to up to Workers(workers) goroutines in chunk
+// order, so fine-grained per-item work (a few microseconds per index)
+// pays one goroutine handoff per chunk instead of one per item. The
+// chunk layout depends only on n and grain — never on the worker count
+// or scheduling — so callers can hold per-chunk scratch state without
+// breaking the determinism contract.
+//
+// grain <= 0 picks an automatic grain: the range is split into roughly
+// 8 chunks per worker (at least 1 index each), which keeps the tail of
+// the run load-balanced while still amortizing handoffs. Note the
+// automatic grain depends on the resolved worker count; callers that
+// need a scheduling-independent chunk layout (e.g. per-chunk RNG
+// streams) must pass an explicit grain. A panic in any f is re-raised
+// in the caller (the one from the lowest chunk, matching a sequential
+// loop).
+func ForGrain(n, workers, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		w := Workers(workers)
+		grain = n / (8 * w)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	For(chunks, workers, func(c int) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}
+
+// MapErrGrain is MapErr with chunked dispatch: f is still called once
+// per index and the results are ordered by index, but indices are
+// handed to workers in contiguous chunks of at most grain (see
+// ForGrain). If any call fails, the error of the lowest failing index
+// is returned — the same error a sequential loop would surface first —
+// and the results are discarded.
+func MapErrGrain[T any](n, workers, grain int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForGrain(n, workers, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = f(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // MapErr runs f for every index on up to Workers(workers) goroutines
 // and returns the results ordered by index. If any call fails, the
 // error of the lowest failing index is returned — the same error a

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -125,4 +126,102 @@ func TestWorkersResolution(t *testing.T) {
 	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
+}
+
+func TestForGrainCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		for _, grain := range []int{0, 1, 3, 50, 1000} {
+			n := 137
+			counts := make([]int64, n)
+			ForGrain(n, workers, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d)", lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d ran %d times", workers, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForGrainChunkLayoutIndependentOfWorkers(t *testing.T) {
+	// With an explicit grain the chunk boundaries must depend only on
+	// (n, grain): per-chunk scratch state then sees identical index
+	// ranges at every worker count.
+	collect := func(workers int) map[int]int {
+		boundaries := make(map[int]int)
+		var mu sync.Mutex
+		ForGrain(100, workers, 7, func(lo, hi int) {
+			mu.Lock()
+			boundaries[lo] = hi
+			mu.Unlock()
+		})
+		return boundaries
+	}
+	a, b := collect(1), collect(8)
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for lo, hi := range a {
+		if b[lo] != hi {
+			t.Fatalf("chunk [%d,%d) at workers=1 became [%d,%d) at workers=8", lo, hi, lo, b[lo])
+		}
+	}
+}
+
+func TestForGrainZeroN(t *testing.T) {
+	ForGrain(0, 4, 8, func(lo, hi int) { t.Fatal("f called for n=0") })
+}
+
+func TestMapErrGrainOrdersResultsAndErrors(t *testing.T) {
+	out, err := MapErrGrain(50, 8, 4, func(i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	_, err = MapErrGrain(40, 8, 3, func(i int) (int, error) {
+		switch i {
+		case 5:
+			return 0, errLow
+		case 31:
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestForGrainPropagatesLowestChunkPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	ForGrain(32, 4, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 3 || i == 17 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+		}
+	})
 }

@@ -132,6 +132,10 @@ func (g *linkGraph) refresh(v *core.Verifier) {
 	if opts.Variant != core.TrustRankDirected {
 		sg = built.Undirected()
 	}
+	// opts.Trust.Workers is normally 0, which resolves to the process
+	// default — so on multi-core hosts the refresh runs the parallel
+	// power iteration automatically (bit-identical to serial; the
+	// refresh already never runs on the request path).
 	values := trust.TrustRank(sg, v.Seeds(), opts.Trust)
 	scores := make(map[string]float64, sg.Len())
 	for id := 0; id < sg.Len(); id++ {

@@ -13,9 +13,15 @@ import (
 
 // The serving metrics are rendered in the Prometheus text exposition
 // format with no external dependencies: three tiny primitives (counter,
-// labeled counter, histogram) plus a renderer. Everything is cheap
-// enough to sit on the request hot path — counters are a single atomic
-// add, histograms one short critical section.
+// labeled counter, histogram) plus a renderer. Every instrument is
+// lock-free on the observe path — plain counters and histogram buckets
+// are single atomic adds, the float sum a CAS loop, and label families
+// a sync.Map read — so concurrent requests never serialize on a metrics
+// mutex. Renders read the atomics without a global lock: a snapshot
+// taken mid-observation may be off by in-flight increments (a render
+// racing observe can momentarily show count ahead of sum or vice
+// versa), which is the standard Prometheus client trade for a
+// contention-free hot path; each individual value is never torn.
 
 // counter is a monotonically increasing uint64.
 type counter struct{ n atomic.Uint64 }
@@ -25,110 +31,116 @@ func (c *counter) add(d uint64)  { c.n.Add(d) }
 func (c *counter) value() uint64 { return c.n.Load() }
 
 // labelCounter is a counter family over the values of one label.
+// Label slots are created on first use via LoadOrStore; after that an
+// inc is one sync.Map read plus one atomic add.
 type labelCounter struct {
-	mu   sync.Mutex
-	vals map[string]uint64
+	vals sync.Map // string -> *counter
 }
 
 func (l *labelCounter) inc(label string) {
-	l.mu.Lock()
-	if l.vals == nil {
-		l.vals = make(map[string]uint64)
+	if c, ok := l.vals.Load(label); ok {
+		c.(*counter).inc()
+		return
 	}
-	l.vals[label]++
-	l.mu.Unlock()
+	c, _ := l.vals.LoadOrStore(label, &counter{})
+	c.(*counter).inc()
 }
 
 // snapshot returns the label values in sorted order with their counts,
 // so the rendered exposition is deterministic.
 func (l *labelCounter) snapshot() ([]string, []uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	keys := make([]string, 0, len(l.vals))
-	for k := range l.vals {
-		keys = append(keys, k)
-	}
+	keys := make([]string, 0, 8)
+	l.vals.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
 	sort.Strings(keys)
 	counts := make([]uint64, len(keys))
 	for i, k := range keys {
-		counts[i] = l.vals[k]
+		c, _ := l.vals.Load(k)
+		counts[i] = c.(*counter).value()
 	}
 	return keys, counts
 }
 
-// histogram is a fixed-bucket Prometheus histogram.
+// histogram is a fixed-bucket Prometheus histogram. Buckets and the
+// observation count are atomic adds; the float sum is an atomic CAS
+// loop over its bit pattern (uncontended in practice — the loop retries
+// only when two observations land on the same histogram in the same
+// instant).
 type histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // upper bounds, ascending; +Inf implicit
-	counts []uint64  // len(bounds)+1, last = +Inf bucket
-	sum    float64
-	n      uint64
+	bounds  []float64 // upper bounds, ascending; +Inf implicit; read-only
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	n       atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
 func (h *histogram) observe(v float64) {
-	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.n++
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.n.Add(1)
 }
+
+func (h *histogram) sum() float64        { return math.Float64frombits(h.sumBits.Load()) }
+func (h *histogram) count() uint64       { return h.n.Load() }
+func (h *histogram) bucket(i int) uint64 { return h.counts[i].Load() }
 
 // mean returns the running mean of all observations (0 before the
 // first). The 429 Retry-After hint is derived from it: the typical
 // service time is the soonest a retry could plausibly be served.
 func (h *histogram) mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
+	n := h.n.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.sum() / float64(n)
 }
 
 // histogramVec is a histogram family over the values of one label
 // (per-evidence-source latency). Label values are created on first
 // observation, so pluggable sources need no registration.
 type histogramVec struct {
-	mu     sync.Mutex
 	bounds []float64
-	m      map[string]*histogram
+	m      sync.Map // string -> *histogram
 }
 
 func newHistogramVec(bounds []float64) *histogramVec {
-	return &histogramVec{bounds: bounds, m: make(map[string]*histogram)}
+	return &histogramVec{bounds: bounds}
 }
 
 // with returns the histogram for one label value, creating it on first
 // use.
 func (v *histogramVec) with(label string) *histogram {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	h, ok := v.m[label]
-	if !ok {
-		h = newHistogram(v.bounds)
-		v.m[label] = h
+	if h, ok := v.m.Load(label); ok {
+		return h.(*histogram)
 	}
-	return h
+	h, _ := v.m.LoadOrStore(label, newHistogram(v.bounds))
+	return h.(*histogram)
 }
 
 // snapshot returns the label values in sorted order with their
 // histograms, for deterministic rendering.
 func (v *histogramVec) snapshot() ([]string, []*histogram) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	keys := make([]string, 0, len(v.m))
-	for k := range v.m {
-		keys = append(keys, k)
-	}
+	keys := make([]string, 0, 8)
+	v.m.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
 	sort.Strings(keys)
 	hs := make([]*histogram, len(keys))
 	for i, k := range keys {
-		hs[i] = v.m[k]
+		h, _ := v.m.Load(k)
+		hs[i] = h.(*histogram)
 	}
 	return keys, hs
 }
@@ -208,11 +220,12 @@ func writeHistogramVec(w io.Writer, name, help, label string, v *histogramVec) {
 // writeHistogramSeries renders one series' buckets/sum/count;
 // labelPrefix is empty or `label="value",` to splice before le.
 func writeHistogramSeries(w io.Writer, name, labelPrefix string, h *histogram) {
-	h.mu.Lock()
 	bounds := h.bounds
-	counts := append([]uint64(nil), h.counts...)
-	sum, n := h.sum, h.n
-	h.mu.Unlock()
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	sum, n := h.sum(), h.count()
 
 	var cum uint64
 	for i, b := range bounds {

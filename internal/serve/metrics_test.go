@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -131,17 +132,67 @@ func TestHistogramBuckets(t *testing.T) {
 	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
 		h.observe(v)
 	}
-	if h.n != 5 {
-		t.Errorf("n = %d, want 5", h.n)
+	if h.count() != 5 {
+		t.Errorf("n = %d, want 5", h.count())
 	}
 	want := []uint64{1, 2, 1, 1} // ≤0.1, ≤1, ≤10, +Inf
-	for i, c := range h.counts {
-		if c != want[i] {
+	for i := range want {
+		if c := h.bucket(i); c != want[i] {
 			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
 		}
 	}
-	if h.sum != 56.05 {
-		t.Errorf("sum = %v, want 56.05", h.sum)
+	if h.sum() != 56.05 {
+		t.Errorf("sum = %v, want 56.05", h.sum())
+	}
+}
+
+// TestMetricsConcurrentObserve hammers every instrument kind from many
+// goroutines (run with -race) and checks the totals reconcile: the
+// observe path is lock-free, so this is where torn updates would show.
+func TestMetricsConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	lc := &labelCounter{}
+	hv := newHistogramVec([]float64{0.5})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := []string{"text", "network", "registry"}[g%3]
+			for i := 0; i < per; i++ {
+				h.observe(0.25)
+				lc.inc(label)
+				hv.with(label).observe(2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * per
+	if h.count() != total {
+		t.Errorf("histogram count = %d, want %d", h.count(), total)
+	}
+	if got, want := h.sum(), 0.25*total; got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+	if h.bucket(1) != total {
+		t.Errorf("bucket(≤1) = %d, want %d", h.bucket(1), total)
+	}
+	keys, counts := lc.snapshot()
+	var lcTotal uint64
+	for _, c := range counts {
+		lcTotal += c
+	}
+	if len(keys) != 3 || lcTotal != total {
+		t.Errorf("labelCounter: keys=%v total=%d, want 3 labels / %d", keys, lcTotal, total)
+	}
+	vkeys, hs := hv.snapshot()
+	var hvTotal uint64
+	for _, vh := range hs {
+		hvTotal += vh.count()
+	}
+	if len(vkeys) != 3 || hvTotal != total {
+		t.Errorf("histogramVec: keys=%v total=%d, want 3 labels / %d", vkeys, hvTotal, total)
 	}
 }
 

@@ -1,0 +1,154 @@
+package trust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bigRandomGraph builds a graph large enough to take the parallel rank
+// path, with parallel edges, dangling nodes and hub structure.
+func bigRandomGraph(rng *rand.Rand, nodes, edges int) *Graph {
+	g := NewGraph()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = "n" + itoa(i)
+		g.Node(names[i])
+	}
+	for i := 0; i < edges; i++ {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes)
+		if rng.Intn(4) == 0 {
+			dst = rng.Intn(1 + nodes/20) // hub bias: heavy in-degree skew
+		}
+		g.AddEdge(names[src], names[dst])
+	}
+	return g
+}
+
+func bitsEqual(a, b []float64) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// Property: TrustRank is bit-identical between the serial reference
+// (Workers=1) and the parallel path at several worker counts, on
+// randomized graphs with dangling nodes, parallel edges and hubs.
+func TestTrustRankParallelBitIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := minParallelNodes + rng.Intn(400)
+		g := bigRandomGraph(rng, n, n*3)
+		seeds := map[string]float64{}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			seeds["n"+itoa(rng.Intn(n))] = 1 + rng.Float64()
+		}
+		ref := TrustRank(g, seeds, Config{Workers: 1})
+		for _, w := range []int{2, 3, 8, 64} {
+			got := TrustRank(g, seeds, Config{Workers: w})
+			if i, ok := bitsEqual(ref, got); !ok {
+				t.Fatalf("trial %d workers=%d: score[%d] = %x, serial %x",
+					trial, w, i, math.Float64bits(got[i]), math.Float64bits(ref[i]))
+			}
+		}
+	}
+}
+
+// The same bit-identity must hold for the unseeded baseline and the
+// reversed-edge variant (their bias vectors and graph shapes differ).
+func TestPageRankAndAntiTrustParallelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		n := minParallelNodes + rng.Intn(300)
+		g := bigRandomGraph(rng, n, n*2)
+		pr1 := PageRank(g, Config{Workers: 1})
+		prN := PageRank(g, Config{Workers: 7})
+		if i, ok := bitsEqual(pr1, prN); !ok {
+			t.Fatalf("trial %d: PageRank diverges at node %d", trial, i)
+		}
+		seeds := map[string]float64{"n0": 1, "n3": 1}
+		at1 := AntiTrustRank(g, seeds, Config{Workers: 1})
+		atN := AntiTrustRank(g, seeds, Config{Workers: 5})
+		if i, ok := bitsEqual(at1, atN); !ok {
+			t.Fatalf("trial %d: AntiTrustRank diverges at node %d", trial, i)
+		}
+	}
+}
+
+// Bit-identity must survive non-default damping/tolerance (different
+// iteration counts and rounding paths).
+func TestTrustRankParallelBitIdentityNonDefaultConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := bigRandomGraph(rng, minParallelNodes+100, (minParallelNodes+100)*4)
+	seeds := map[string]float64{"n1": 1}
+	for _, cfg := range []Config{
+		{Damping: 0.5, Tol: 1e-3},
+		{Damping: 0.99, MaxIterations: 7},
+		{Tol: 1e-14},
+	} {
+		serial, par := cfg, cfg
+		serial.Workers, par.Workers = 1, 6
+		a := TrustRank(g, seeds, serial)
+		b := TrustRank(g, seeds, par)
+		if i, ok := bitsEqual(a, b); !ok {
+			t.Fatalf("cfg %+v: diverges at node %d", cfg, i)
+		}
+	}
+}
+
+// A graph that is entirely dangling (no edges at all) exercises the
+// dangling-mass path alone.
+func TestParallelRankAllDangling(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < minParallelNodes+50; i++ {
+		g.Node("n" + itoa(i))
+	}
+	a := PageRank(g, Config{Workers: 1})
+	b := PageRank(g, Config{Workers: 4})
+	if i, ok := bitsEqual(a, b); !ok {
+		t.Fatalf("all-dangling graph diverges at node %d", i)
+	}
+}
+
+func TestConfigRejectsNegativeValues(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative damping", Config{Damping: -0.1}},
+		{"damping one", Config{Damping: 1}},
+		{"damping above one", Config{Damping: 1.5}},
+		{"negative iterations", Config{MaxIterations: -1}},
+		{"negative tol", Config{Tol: -1e-9}},
+	}
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			PageRank(g, tc.cfg)
+		}()
+	}
+}
+
+func TestConfigZeroSentinelsSelectDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Damping != 0.85 || c.MaxIterations != 100 || c.Tol != 1e-9 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Workers has no sentinel rewrite: 0 defers to the process default.
+	if c.Workers != 0 {
+		t.Fatalf("Workers = %d, want 0 (process default)", c.Workers)
+	}
+}

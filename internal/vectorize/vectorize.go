@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"pharmaverify/internal/ml"
+	"pharmaverify/internal/parallel"
 )
 
 // Vocabulary maps terms to contiguous feature indices and carries the
@@ -246,19 +247,34 @@ const (
 	WeightCounts
 )
 
-// Dataset vectorizes all corpus documents into an ml.Dataset, sharing
-// one Vectorizer's scratch across the whole corpus (bit-identical to
-// calling Vocabulary.Counts/TFIDF per document, without the per-call
-// map and IDF recomputation).
+// datasetGrain is the number of documents one worker vectorizes per
+// dispatch in Corpus.Dataset: single-document vectorization is a few
+// microseconds, so chunks keep the fan-out overhead amortized and each
+// worker's Vectorizer scratch hot.
+const datasetGrain = 32
+
+// Dataset vectorizes all corpus documents into an ml.Dataset. Documents
+// are vectorized concurrently in chunks, one Vectorizer (scratch
+// buffers) per chunk, and appended to the dataset serially in document
+// order — each document's vector depends only on the shared read-only
+// vocabulary, so the result is bit-identical to the sequential
+// one-Vectorizer loop (and to calling Vocabulary.Counts/TFIDF per
+// document) at any worker count.
 func (c *Corpus) Dataset(w Weighting) *ml.Dataset {
+	vecs := make([]ml.Vector, len(c.Docs))
+	parallel.ForGrain(len(c.Docs), 0, datasetGrain, func(lo, hi int) {
+		z := NewVectorizer(c.Vocab)
+		for i := lo; i < hi; i++ {
+			vecs[i] = z.Vector(c.Docs[i], w)
+		}
+	})
 	ds := &ml.Dataset{Dim: c.Vocab.Size()}
-	z := NewVectorizer(c.Vocab)
-	for i, doc := range c.Docs {
+	for i, v := range vecs {
 		name := ""
 		if i < len(c.Names) {
 			name = c.Names[i]
 		}
-		ds.Add(z.Vector(doc, w), c.Y[i], name)
+		ds.Add(v, c.Y[i], name)
 	}
 	return ds
 }
