@@ -71,7 +71,17 @@ func main() {
 		graphMaxOut     = flag.Int("graph-max-out", 200, "outbound endpoints folded per crawl")
 		graphDirty      = flag.Int("graph-refresh-dirty", 16, "graph-changing folds that trigger a TrustRank recompute (1 = every change)")
 		graphRefresh    = flag.Duration("graph-refresh-interval", 30*time.Second, "background TrustRank refresh tick bounding score staleness (0 = request-driven only)")
+		graphJitterSeed = flag.Int64("graph-jitter-seed", 0, "seed of the ±20% jitter on every refresh tick, desynchronizing fleet-wide refreshes (0 = derive from the clock)")
 		registryFile    = flag.String("registry-file", "", "registry evidence backend: file of \"domain legitimate|illegitimate\" lines (empty = registry source abstains)")
+
+		sourceTimeout   = flag.Duration("source-timeout", 2*time.Second, "per-evidence-source assessment deadline (negative = unbounded)")
+		sourceConc      = flag.Int("source-concurrency", 8, "per-source bulkhead: concurrent assessments allowed per evidence source")
+		breakerWindow   = flag.Int("breaker-window", 16, "rolling outcome window of each source's circuit breaker")
+		breakerFailures = flag.Int("breaker-failures", 8, "failures within the window that open a source's breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open breaker fast-fails before half-open probing")
+		breakerProbes   = flag.Int("breaker-probes", 2, "consecutive half-open probe successes that close a breaker")
+		minEvidence     = flag.Int("min-evidence", 1, "evidence quorum: sources that must vote for a live verdict (below it, stale fallback)")
+		maxStale        = flag.Duration("max-stale", time.Hour, "stale-serve budget: how far past its TTL an expired verdict may be served, marked, when live assessment fails (negative = never serve stale)")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = profiling disabled")
 
@@ -122,7 +132,16 @@ func main() {
 		GraphMaxOut:          *graphMaxOut,
 		GraphDirtyThreshold:  *graphDirty,
 		GraphRefreshInterval: *graphRefresh,
+		JitterSeed:           *graphJitterSeed,
 		Registry:             registry,
+		SourceTimeout:        *sourceTimeout,
+		SourceConcurrency:    *sourceConc,
+		BreakerWindow:        *breakerWindow,
+		BreakerFailures:      *breakerFailures,
+		BreakerCooldown:      *breakerCooldown,
+		BreakerProbes:        *breakerProbes,
+		MinEvidence:          *minEvidence,
+		MaxStale:             *maxStale,
 	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
 		os.Exit(1)
@@ -230,6 +249,7 @@ func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, w
 		case <-hup:
 			next, err := loadModel(modelPath)
 			if err != nil {
+				srv.RecordReloadFailure()
 				logf("SIGHUP reload failed, keeping model %.12s: %v", srv.ModelFingerprint(), err)
 				continue
 			}

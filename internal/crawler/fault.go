@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,10 +27,23 @@ type FaultConfig struct {
 	// crawler's retry budget guarantees eventual recovery.
 	MaxTransientPerPage int
 	// LatencySpike, when positive, adds that much latency to SpikeRate
-	// of the attempts (deterministically chosen).
+	// of the attempts (deterministically chosen). Under FetchCtx the
+	// added latency is cancellation-aware: an expiring context cuts the
+	// sleep short and the attempt returns ctx.Err().
 	LatencySpike time.Duration
 	// SpikeRate is the per-attempt probability of a latency spike.
 	SpikeRate float64
+	// HangRate is the per-attempt probability that the fetch hangs —
+	// the pathological peer that neither answers nor closes. A hung
+	// FetchCtx attempt blocks until its context is cancelled (or
+	// HangFor elapses, whichever is first) and returns the context
+	// error; a hung context-free Fetch blocks for HangFor and then
+	// fails transiently. With HangFor zero, hangs are only injected on
+	// context-aware fetches (a plain Fetch would block forever).
+	HangRate float64
+	// HangFor bounds one injected hang (0 = until context
+	// cancellation).
+	HangFor time.Duration
 }
 
 // FaultStats counts what the injector actually did.
@@ -38,12 +52,13 @@ type FaultStats struct {
 	Transient int64
 	Permanent int64
 	Spikes    int64
+	Hangs     int64
 }
 
 // FaultInjector wraps a Fetcher with seeded transient/permanent
-// failures and latency spikes — the flaky-world harness used by tests
-// and examples to exercise the crawler's retry, backoff and circuit-
-// breaker machinery.
+// failures, latency spikes and hangs — the flaky-world harness used by
+// tests, examples and the serving chaos soak to exercise retry,
+// backoff, circuit-breaker and deadline machinery deterministically.
 type FaultInjector struct {
 	inner Fetcher
 	cfg   FaultConfig
@@ -51,7 +66,7 @@ type FaultInjector struct {
 	mu       sync.Mutex
 	attempts map[string]int // per domain|path attempt counter
 
-	attemptsN, transientN, permanentN, spikesN atomic.Int64
+	attemptsN, transientN, permanentN, spikesN, hangsN atomic.Int64
 }
 
 // NewFaultInjector wraps inner with the given fault model.
@@ -60,8 +75,21 @@ func NewFaultInjector(inner Fetcher, cfg FaultConfig) *FaultInjector {
 }
 
 // Fetch implements Fetcher, injecting faults ahead of the wrapped
-// fetcher.
+// fetcher. Injected latency and hangs are uninterruptible here; use
+// FetchCtx for cancellation-aware injection.
 func (fi *FaultInjector) Fetch(domain, path string) (string, error) {
+	return fi.fetch(context.Background(), domain, path, false)
+}
+
+// FetchCtx implements CtxFetcher: injected latency spikes and hangs
+// select on ctx, so a cancelled crawl (or an expiring per-attempt
+// deadline) aborts the injected delay instead of sleeping through it.
+// The wrapped fetcher's own FetchCtx is used when it has one.
+func (fi *FaultInjector) FetchCtx(ctx context.Context, domain, path string) (string, error) {
+	return fi.fetch(ctx, domain, path, true)
+}
+
+func (fi *FaultInjector) fetch(ctx context.Context, domain, path string, haveCtx bool) (string, error) {
 	key := domain + "|" + path
 	fi.mu.Lock()
 	n := fi.attempts[key] // 0-based attempt index for this page
@@ -70,10 +98,24 @@ func (fi *FaultInjector) Fetch(domain, path string) (string, error) {
 	fi.attemptsN.Add(1)
 
 	attempt := fmt.Sprint(n)
+	if fi.cfg.HangRate > 0 && (haveCtx || fi.cfg.HangFor > 0) &&
+		hashDraw(fi.cfg.Seed, "hang", key, attempt) < fi.cfg.HangRate {
+		fi.hangsN.Add(1)
+		if fi.cfg.HangFor <= 0 {
+			<-ctx.Done() // unbounded hang: only the context ends it
+			return "", ctx.Err()
+		}
+		if err := sleepCtx(ctx, fi.cfg.HangFor); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("fault: %s%s hung for %v (attempt %d)", domain, path, fi.cfg.HangFor, n+1)
+	}
 	if fi.cfg.LatencySpike > 0 && fi.cfg.SpikeRate > 0 &&
 		hashDraw(fi.cfg.Seed, "spike", key, attempt) < fi.cfg.SpikeRate {
 		fi.spikesN.Add(1)
-		time.Sleep(fi.cfg.LatencySpike)
+		if err := sleepCtx(ctx, fi.cfg.LatencySpike); err != nil {
+			return "", err
+		}
 	}
 	if fi.cfg.PermanentRate > 0 && hashDraw(fi.cfg.Seed, "permanent", key) < fi.cfg.PermanentRate {
 		fi.permanentN.Add(1)
@@ -85,6 +127,11 @@ func (fi *FaultInjector) Fetch(domain, path string) (string, error) {
 		fi.transientN.Add(1)
 		return "", fmt.Errorf("fault: transient failure for %s%s (attempt %d)", domain, path, n+1)
 	}
+	if haveCtx {
+		if cf, ok := fi.inner.(CtxFetcher); ok {
+			return cf.FetchCtx(ctx, domain, path)
+		}
+	}
 	return fi.inner.Fetch(domain, path)
 }
 
@@ -95,7 +142,11 @@ func (fi *FaultInjector) Stats() FaultStats {
 		Transient: fi.transientN.Load(),
 		Permanent: fi.permanentN.Load(),
 		Spikes:    fi.spikesN.Load(),
+		Hangs:     fi.hangsN.Load(),
 	}
 }
 
-var _ Fetcher = (*FaultInjector)(nil)
+var (
+	_ Fetcher    = (*FaultInjector)(nil)
+	_ CtxFetcher = (*FaultInjector)(nil)
+)

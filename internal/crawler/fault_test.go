@@ -1,6 +1,8 @@
 package crawler
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -139,5 +141,126 @@ func TestCrawlAllAggregateStats(t *testing.T) {
 	}
 	if total.Retries == 0 || total.Bytes == 0 {
 		t.Errorf("aggregate telemetry looks empty: %+v", total)
+	}
+}
+
+// TestFaultInjectorLatencySpikesDeterministic: with SpikeRate 1 every
+// attempt pays the injected latency, and two injectors with the same
+// seed spike the same attempts.
+func TestFaultInjectorLatencySpikesDeterministic(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[0]
+	fi := NewFaultInjector(w, FaultConfig{Seed: 5, LatencySpike: 5 * time.Millisecond, SpikeRate: 1})
+	start := time.Now()
+	if _, err := fi.Fetch(d, "/"); err != nil {
+		t.Fatalf("spiked fetch failed: %v", err)
+	}
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Errorf("fetch took %v, spike of 5ms not applied", took)
+	}
+	if got := fi.Stats().Spikes; got != 1 {
+		t.Errorf("Spikes = %d, want 1", got)
+	}
+
+	// Partial rate: the set of spiked attempts is a pure function of the
+	// seed, independent of injector instance.
+	spikedBy := func(seed int64) []bool {
+		in := NewFaultInjector(w, FaultConfig{Seed: seed, LatencySpike: time.Microsecond, SpikeRate: 0.4})
+		var pattern []bool
+		for _, p := range w.Site(d).Paths {
+			before := in.Stats().Spikes
+			in.Fetch(d, p)
+			pattern = append(pattern, in.Stats().Spikes > before)
+		}
+		return pattern
+	}
+	if a, b := spikedBy(77), spikedBy(77); !reflect.DeepEqual(a, b) {
+		t.Error("same seed spiked different attempts")
+	}
+}
+
+// TestFaultInjectorLatencySpikeCancellable: an expiring context cuts an
+// injected latency spike short — the attempt fails with the context
+// error instead of sleeping through the spike.
+func TestFaultInjectorLatencySpikeCancellable(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[0]
+	fi := NewFaultInjector(w, FaultConfig{Seed: 5, LatencySpike: time.Minute, SpikeRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fi.FetchCtx(ctx, d, "/")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context deadline", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("cancelled spike still slept %v", took)
+	}
+}
+
+// TestFaultInjectorUnboundedHang: with HangFor zero a hung FetchCtx
+// blocks until its context is cancelled — the pathological peer that
+// neither answers nor closes — and then returns promptly with the
+// context error. A context-free Fetch never receives unbounded hangs
+// (it would block forever).
+func TestFaultInjectorUnboundedHang(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[0]
+	fi := NewFaultInjector(w, FaultConfig{Seed: 5, HangRate: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fi.FetchCtx(ctx, d, "/")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung fetch returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("hung fetch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled hang never returned")
+	}
+	if got := fi.Stats().Hangs; got != 1 {
+		t.Errorf("Hangs = %d, want 1", got)
+	}
+
+	// The context-free path skips unbounded hangs entirely.
+	if _, err := fi.Fetch(d, "/"); err != nil {
+		t.Errorf("context-free fetch under HangFor=0 failed: %v", err)
+	}
+	if got := fi.Stats().Hangs; got != 1 {
+		t.Errorf("Hangs = %d after context-free fetch, want still 1", got)
+	}
+}
+
+// TestFaultInjectorBoundedHang: with HangFor set, a hang resolves on
+// its own after that long — as a transient failure on the context-free
+// path, so the retry machinery treats a slow-dying connection exactly
+// like any other flaky attempt.
+func TestFaultInjectorBoundedHang(t *testing.T) {
+	w := faultWorld()
+	d := w.Domains()[0]
+	fi := NewFaultInjector(w, FaultConfig{Seed: 5, HangRate: 1, HangFor: 5 * time.Millisecond})
+	start := time.Now()
+	_, err := fi.Fetch(d, "/")
+	if err == nil {
+		t.Fatal("bounded hang did not fail the attempt")
+	}
+	if IsPermanent(err) {
+		t.Errorf("bounded hang classified permanent: %v", err)
+	}
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Errorf("hang resolved after %v, want >= HangFor", took)
+	}
+	if got := fi.Stats().Hangs; got != 1 {
+		t.Errorf("Hangs = %d, want 1", got)
 	}
 }

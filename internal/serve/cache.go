@@ -14,15 +14,22 @@ import (
 // count, front-of-list = most recently used) with per-entry expiry on
 // top; singleflight lives one layer up in flightGroup, because the
 // serving path must distinguish a cache hit from a deduplicated crawl.
+//
+// Expired entries are retained for up to maxStale beyond the TTL (and
+// remain LRU-evictable) so the degradation path can serve a marked
+// stale verdict when live assessment fails entirely — answering with
+// yesterday's verdict beats answering with an error. getStale is that
+// fallback read; get never returns an expired entry.
 type verdictCache struct {
-	mu      sync.Mutex
-	max     int
-	ttl     time.Duration
-	now     func() time.Time
-	order   *list.List
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	ttl      time.Duration
+	maxStale time.Duration
+	now      func() time.Time
+	order    *list.List
+	entries  map[string]*list.Element
 
-	hits, misses, expiries, evictions uint64
+	hits, misses, expiries, evictions, staleServes uint64
 }
 
 type cacheEntry struct {
@@ -32,23 +39,25 @@ type cacheEntry struct {
 }
 
 // newVerdictCache builds a cache bounded to max entries whose verdicts
-// expire ttl after insertion. now is the clock (injectable for TTL
-// tests).
-func newVerdictCache(max int, ttl time.Duration, now func() time.Time) *verdictCache {
+// expire ttl after insertion and stay servable as stale fallbacks for
+// maxStale beyond that. now is the clock (injectable for TTL tests).
+func newVerdictCache(max int, ttl, maxStale time.Duration, now func() time.Time) *verdictCache {
 	if now == nil {
 		now = time.Now
 	}
 	return &verdictCache{
-		max:     max,
-		ttl:     ttl,
-		now:     now,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+		max:      max,
+		ttl:      ttl,
+		maxStale: maxStale,
+		now:      now,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
 	}
 }
 
-// get returns the fresh verdict cached under key. An expired entry is
-// removed and counts as a miss (recorded in expiries as well).
+// get returns the fresh verdict cached under key. An expired entry
+// counts as a miss (recorded in expiries as well); it is removed only
+// once it is too stale even for the fallback path.
 func (c *verdictCache) get(key string) (DomainVerdict, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -58,9 +67,11 @@ func (c *verdictCache) get(key string) (DomainVerdict, bool) {
 		return DomainVerdict{}, false
 	}
 	e := el.Value.(*cacheEntry)
-	if c.now().Sub(e.stored) >= c.ttl {
-		c.order.Remove(el)
-		delete(c.entries, key)
+	if age := c.now().Sub(e.stored); age >= c.ttl {
+		if age >= c.ttl+c.maxStale {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
 		c.expiries++
 		c.misses++
 		return DomainVerdict{}, false
@@ -68,6 +79,35 @@ func (c *verdictCache) get(key string) (DomainVerdict, bool) {
 	c.order.MoveToFront(el)
 	c.hits++
 	return e.v, true
+}
+
+// getStale is the degradation read: it returns whatever entry is still
+// within the stale-serve budget (ttl + maxStale), reporting whether it
+// is past its TTL. The pipeline uses it only after live assessment has
+// failed; a returned stale verdict is counted and must be marked
+// Stale before serving.
+func (c *verdictCache) getStale(key string) (v DomainVerdict, stale, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		return DomainVerdict{}, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	age := c.now().Sub(e.stored)
+	if age >= c.ttl+c.maxStale {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return DomainVerdict{}, false, false
+	}
+	// Serving keeps the entry warm: while the backends are down it must
+	// not be the LRU victim.
+	c.order.MoveToFront(el)
+	if age >= c.ttl {
+		c.staleServes++
+		return e.v, true, true
+	}
+	return e.v, false, true
 }
 
 // put stores a verdict under key, evicting the least recently used
@@ -102,4 +142,12 @@ func (c *verdictCache) stats() (hits, misses, expiries, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.expiries, c.evictions
+}
+
+// staleServed reports how many expired entries the fallback path has
+// handed out.
+func (c *verdictCache) staleServed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.staleServes
 }

@@ -8,7 +8,7 @@ import (
 
 func TestVerdictCacheLRUEviction(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(0, 0)}
-	c := newVerdictCache(2, time.Hour, clock.now)
+	c := newVerdictCache(2, time.Hour, 0, clock.now)
 	c.put("a", DomainVerdict{Domain: "a"})
 	c.put("b", DomainVerdict{Domain: "b"})
 	// Touch "a" so "b" is the LRU victim.
@@ -35,7 +35,7 @@ func TestVerdictCacheLRUEviction(t *testing.T) {
 
 func TestVerdictCacheTTL(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(0, 0)}
-	c := newVerdictCache(10, time.Minute, clock.now)
+	c := newVerdictCache(10, time.Minute, 0, clock.now)
 	c.put("k", DomainVerdict{Domain: "k", Rank: 1})
 	clock.advance(59 * time.Second)
 	if _, ok := c.get("k"); !ok {
@@ -60,7 +60,7 @@ func TestVerdictCacheTTL(t *testing.T) {
 
 func TestVerdictCachePutRefreshesExisting(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(0, 0)}
-	c := newVerdictCache(10, time.Minute, clock.now)
+	c := newVerdictCache(10, time.Minute, 0, clock.now)
 	c.put("k", DomainVerdict{Rank: 1})
 	clock.advance(50 * time.Second)
 	c.put("k", DomainVerdict{Rank: 2})
@@ -76,7 +76,7 @@ func TestVerdictCachePutRefreshesExisting(t *testing.T) {
 
 func TestVerdictCacheConcurrent(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(0, 0)}
-	c := newVerdictCache(32, time.Hour, clock.now)
+	c := newVerdictCache(32, time.Hour, 0, clock.now)
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func(g int) {

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pharmaverify/internal/crawler"
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/ml"
+)
+
+// The chaos harness: scripted per-source error/latency/hang faults
+// driven through the real HTTP serving path, asserting that the
+// resilience layer degrades deterministically — breaker transitions on
+// a pinned schedule, stale fallbacks instead of errors, no 5xx under
+// total source failure — and that verdicts return to bit-identical
+// agreement with the offline pipeline once faults clear.
+
+// getBody fetches one URL and returns its status and body.
+func getBody(t testing.TB, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+// readyzSources decodes the per-source entries of a /readyz body.
+func readyzSources(t testing.TB, body string) map[string]map[string]any {
+	t.Helper()
+	var payload struct {
+		Sources []map[string]any `json:"sources"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("bad readyz body %q: %v", body, err)
+	}
+	out := make(map[string]map[string]any, len(payload.Sources))
+	for _, s := range payload.Sources {
+		out[s["name"].(string)] = s
+	}
+	return out
+}
+
+// replaceSources swaps the server's evidence backends for scripted
+// ones, each behind a fresh guard built from the server's own config.
+func replaceSources(s *Server, srcs ...EvidenceSource) {
+	guarded := make([]*guardedSource, len(srcs))
+	for i, src := range srcs {
+		guarded[i] = newGuardedSource(src, s.cfg, s.met)
+	}
+	s.sources = guarded
+}
+
+// TestBreakerOpensAndRecoversOverHTTP drives the full lifecycle
+// through the serving path on an injected clock: failures open the
+// breaker at exactly the configured threshold, an open breaker
+// fast-fails, /readyz and /metrics surface the state, and recovery is
+// one half-open probe away once the cooldown lapses — all while every
+// response stays a 200 (per-domain errors ride inside the envelope;
+// chaos never produces a 5xx).
+func TestBreakerOpensAndRecoversOverHTTP(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	s, ts := newTestServer(t, Config{
+		Fetcher:         w,
+		BreakerWindow:   4,
+		BreakerFailures: 2,
+		BreakerCooldown: 10 * time.Second,
+		BreakerProbes:   1,
+		MaxStale:        -1, // no stale fallback: errors must surface
+		now:             clock.now,
+	})
+	chaos := newScriptedSource("chaos", "err", 0.9)
+	replaceSources(s, chaos)
+	domain := pickDomain(t, true)
+
+	verify := func() DomainVerdict {
+		t.Helper()
+		code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain, Refresh: true})
+		if code != http.StatusOK {
+			t.Fatalf("verify under chaos returned %d, want 200", code)
+		}
+		return resp.Results[0]
+	}
+
+	// Failures 1 and 2: the second crosses the threshold and opens.
+	if v := verify(); !strings.Contains(v.Error, "insufficient evidence") {
+		t.Fatalf("verdict with the only source failing = %+v", v)
+	}
+	if got := s.sources[0].BreakerState(); got != "closed" {
+		t.Fatalf("breaker after 1 failure = %q, want closed", got)
+	}
+	verify()
+	if got := s.sources[0].BreakerState(); got != "open" {
+		t.Fatalf("breaker after 2 failures = %q, want open", got)
+	}
+
+	// Open: the source is not consulted at all — fast-fail.
+	before := chaos.callCount()
+	verify()
+	if got := chaos.callCount(); got != before {
+		t.Errorf("open breaker still consulted the source (%d -> %d calls)", before, got)
+	}
+
+	// The state is visible on /readyz and /metrics.
+	code, body := getBody(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz returned %d", code)
+	}
+	src := readyzSources(t, body)["chaos"]
+	if src == nil || src["breaker"] != "open" || src["healthy"] != false {
+		t.Errorf("readyz source entry %v, want breaker=open healthy=false", src)
+	}
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`pharmaverify_source_breaker_state{source="chaos"} 2`,
+		`pharmaverify_source_breaker_transitions_total{source="chaos",state="open"} 1`,
+		`pharmaverify_source_breaker_rejections_total{source="chaos"} 1`,
+		"pharmaverify_quorum_failures_total 3",
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Cooldown lapsed + backend recovered: one successful probe closes
+	// it and the verdict is live again.
+	clock.advance(10 * time.Second)
+	chaos.setMode("ok")
+	v := verify()
+	if v.Error != "" || !v.Legitimate {
+		t.Fatalf("recovered verdict = %+v, want a live legitimate ruling", v)
+	}
+	if got := s.sources[0].BreakerState(); got != "closed" {
+		t.Fatalf("breaker after successful probe = %q, want closed", got)
+	}
+	_, mbody = getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`pharmaverify_source_breaker_state{source="chaos"} 0`,
+		`pharmaverify_source_breaker_transitions_total{source="chaos",state="half-open"} 1`,
+		`pharmaverify_source_breaker_transitions_total{source="chaos",state="closed"} 1`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestStaleFallbackServesExpiredVerdict: when live assessment fails
+// entirely, an expired cache entry within the stale-serve budget
+// answers — marked stale — and past the budget the error finally
+// surfaces.
+func TestStaleFallbackServesExpiredVerdict(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	s, ts := newTestServer(t, Config{
+		Fetcher:  w,
+		CacheTTL: time.Minute,
+		MaxStale: 10 * time.Minute,
+		now:      clock.now,
+	})
+	chaos := newScriptedSource("chaos", "ok", 0.8)
+	replaceSources(s, chaos)
+	domain := pickDomain(t, true)
+
+	// Prime the cache with a live verdict.
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK || resp.Results[0].Error != "" {
+		t.Fatalf("priming verify failed: %d %+v", code, resp.Results)
+	}
+	if resp.Results[0].Stale {
+		t.Fatal("fresh verdict marked stale")
+	}
+
+	// TTL expired + backend down: the stale fallback answers, marked.
+	clock.advance(2 * time.Minute)
+	chaos.setMode("err")
+	code, resp, _ = postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK {
+		t.Fatalf("degraded verify returned %d, want 200", code)
+	}
+	v := resp.Results[0]
+	if v.Error != "" || !v.Stale || !v.Cached {
+		t.Fatalf("degraded verdict = %+v, want a marked stale cache serve", v)
+	}
+	if v.Legitimate != resp.Results[0].Legitimate {
+		t.Fatalf("stale verdict flipped the ruling: %+v", v)
+	}
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(mbody, "pharmaverify_stale_verdicts_total 1") {
+		t.Error("stale serve not counted on /metrics")
+	}
+	if !strings.Contains(mbody, `pharmaverify_domains_total{outcome="stale"} 1`) {
+		t.Error("stale outcome missing from the domains metric")
+	}
+
+	// Beyond ttl + MaxStale even the fallback is exhausted: honesty.
+	clock.advance(10 * time.Minute)
+	code, resp, _ = postVerify(t, ts.URL, VerifyRequest{Domain: domain})
+	if code != http.StatusOK {
+		t.Fatalf("exhausted-fallback verify returned %d, want 200", code)
+	}
+	if got := resp.Results[0]; got.Error == "" || got.Stale {
+		t.Fatalf("verdict beyond the stale budget = %+v, want an error", got)
+	}
+}
+
+// TestQuorumRequiresMinEvidence: with MinEvidence 2, a single
+// contributing source is not a verdict; once a second source votes, the
+// fusion is the equal-weight average over both.
+func TestQuorumRequiresMinEvidence(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	s, ts := newTestServer(t, Config{Fetcher: w, MinEvidence: 2, MaxStale: -1})
+	a := newScriptedSource("alpha", "ok", 0.9)
+	b := newScriptedSource("beta", "abstain", 0.3)
+	replaceSources(s, a, b)
+	domain := pickDomain(t, true)
+
+	code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: domain, Refresh: true})
+	if code != http.StatusOK {
+		t.Fatalf("verify returned %d", code)
+	}
+	if v := resp.Results[0]; !strings.Contains(v.Error, "insufficient evidence") ||
+		!strings.Contains(v.Error, "1 of 2") {
+		t.Fatalf("single-source verdict = %+v, want a quorum failure naming 1 of 2", v)
+	}
+
+	b.setMode("ok")
+	code, resp, _ = postVerify(t, ts.URL, VerifyRequest{Domain: domain, Refresh: true})
+	if code != http.StatusOK || resp.Results[0].Error != "" {
+		t.Fatalf("two-source verify failed: %d %+v", code, resp.Results)
+	}
+	v := resp.Results[0]
+	if len(v.Sources) != 2 || !v.Legitimate { // (0.9 + 0.3) / 2 = 0.6
+		t.Fatalf("fused verdict = %+v, want both sources voting legitimate", v)
+	}
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(mbody, "pharmaverify_quorum_failures_total 1") {
+		t.Error("quorum failure not counted on /metrics")
+	}
+}
+
+// TestReloadFailureCounterExposed: a failed SIGHUP model reload is
+// visible on /metrics (satellite: reload-failure observability).
+func TestReloadFailureCounterExposed(t *testing.T) {
+	w, _, _ := testVerifier(t)
+	s, ts := newTestServer(t, Config{Fetcher: w})
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(mbody, "pharmaverify_model_reload_failures_total 0") {
+		t.Fatal("reload-failure counter not exposed at 0")
+	}
+	s.RecordReloadFailure()
+	s.RecordReloadFailure()
+	_, mbody = getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(mbody, "pharmaverify_model_reload_failures_total 2") {
+		t.Error("reload failures not counted on /metrics")
+	}
+}
+
+// flappingRegistry is a RegistryLookup whose behaviour the soak flips
+// between phases: abstaining (healthy), erroring, and hanging until the
+// per-source deadline kills the assessment.
+type flappingRegistry struct {
+	mu   sync.Mutex
+	mode string // "abstain" | "err" | "hang"
+}
+
+func (f *flappingRegistry) setMode(m string) {
+	f.mu.Lock()
+	f.mode = m
+	f.mu.Unlock()
+}
+
+func (f *flappingRegistry) Lookup(ctx context.Context, domain string) (bool, bool, error) {
+	f.mu.Lock()
+	mode := f.mode
+	f.mu.Unlock()
+	switch mode {
+	case "err":
+		return false, false, fmt.Errorf("registry backend down")
+	case "hang":
+		<-ctx.Done()
+		return false, false, ctx.Err()
+	default:
+		return false, false, nil
+	}
+}
+
+// soakPool picks a deterministic mixed-label set of domains.
+func soakPool(t *testing.T, perClass int) []string {
+	t.Helper()
+	w, _, _ := testVerifier(t)
+	domains := w.Domains()
+	sort.Strings(domains)
+	var legit, illegit []string
+	for _, d := range domains {
+		if w.Labels()[d] == ml.Legitimate && len(legit) < perClass {
+			legit = append(legit, d)
+		}
+		if w.Labels()[d] == ml.Illegitimate && len(illegit) < perClass {
+			illegit = append(illegit, d)
+		}
+	}
+	if len(legit) < perClass || len(illegit) < perClass {
+		t.Fatalf("world too small for a %d-per-class pool", perClass)
+	}
+	return append(legit, illegit...)
+}
+
+// TestChaosSoakServingPath is the acceptance soak of the resilience
+// layer: a flaky fetch path (seeded transient failures + latency
+// spikes, always within the retry budget) under a registry backend that
+// flips healthy → erroring → hanging → healthy, driven by concurrent
+// clients. Asserts: no 5xx ever, the registry breaker opens under
+// sustained failure and recovers after it clears, and the final
+// verdicts are bit-identical to the offline (text+network)/2 pipeline.
+// Run under -race by the chaos-soak CI job.
+func TestChaosSoakServingPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	w, snapshot, v := testVerifier(t)
+
+	// Fetch-level chaos: 25% transient failures capped below the retry
+	// budget (every page still completes, so crawls — and therefore
+	// verdicts — stay deterministic) plus 2ms latency spikes on 10% of
+	// attempts.
+	fi := crawler.NewFaultInjector(w, crawler.FaultConfig{
+		Seed:                42,
+		TransientRate:       0.25,
+		MaxTransientPerPage: 1,
+		LatencySpike:        2 * time.Millisecond,
+		SpikeRate:           0.1,
+	})
+	reg := &flappingRegistry{mode: "abstain"}
+	s, ts := newTestServer(t, Config{
+		Fetcher:             fi,
+		Workers:             4,
+		GraphDirtyThreshold: 1,
+		Registry:            reg,
+		SourceTimeout:       40 * time.Millisecond,
+		SourceConcurrency:   2,
+		BreakerWindow:       8,
+		BreakerFailures:     4,
+		BreakerCooldown:     50 * time.Millisecond,
+		BreakerProbes:       1,
+	})
+	pool := soakPool(t, 3)
+	registry := s.sources[2]
+	if registry.Name() != "registry" {
+		t.Fatalf("source order changed: %q", registry.Name())
+	}
+
+	var (
+		codeMu sync.Mutex
+		codes  = map[int]int{}
+	)
+	sweep := func(rounds int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					d := pool[(c+r)%len(pool)]
+					body, _ := json.Marshal(VerifyRequest{Domain: d, Refresh: true})
+					resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					codeMu.Lock()
+					codes[resp.StatusCode]++
+					codeMu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1 — healthy: every pool domain crawled and folded.
+	sweep(len(pool))
+	// Phase 2 — registry erroring: verdicts degrade to text+network,
+	// the breaker trips.
+	reg.setMode("err")
+	sweep(len(pool))
+	if got := registry.BreakerState(); got == "closed" {
+		t.Error("registry breaker still closed after sustained errors")
+	}
+	// Phase 3 — registry hanging: per-source deadlines and the bulkhead
+	// absorb it; the serving path keeps answering.
+	reg.setMode("hang")
+	sweep(len(pool))
+	// Phase 4 — faults clear: the breaker recovers via half-open probes.
+	reg.setMode("abstain")
+	waitFor(t, func() bool {
+		code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: pool[0], Refresh: true})
+		return code == http.StatusOK && resp.Results[0].Error == "" &&
+			registry.BreakerState() == "closed"
+	}, "registry breaker closed after faults cleared")
+
+	// No 5xx storm — no 5xx at all: per-domain failures ride inside 200
+	// envelopes, overload is a 429.
+	codeMu.Lock()
+	for code, n := range codes {
+		if code >= 500 {
+			t.Errorf("soak produced %d responses with status %d", n, code)
+		}
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("soak produced %d responses with unexpected status %d", n, code)
+		}
+	}
+	codeMu.Unlock()
+
+	// The breaker's journey is on the books.
+	_, mbody := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`pharmaverify_source_breaker_transitions_total{source="registry",state="open"}`,
+		`pharmaverify_source_breaker_transitions_total{source="registry",state="closed"}`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("metrics missing %q after the soak", want)
+		}
+	}
+
+	// With faults cleared, served verdicts are bit-identical to the
+	// offline pipeline over the same crawl set (the convergence
+	// guarantee survives the chaos).
+	byDomain := map[string]dataset.Pharmacy{}
+	for _, p := range snapshot.Pharmacies {
+		byDomain[p.Domain] = p
+	}
+	batch := make([]dataset.Pharmacy, len(pool))
+	for i, d := range pool {
+		batch[i] = byDomain[d]
+	}
+	offline := v.Assess(batch)
+	for i, d := range pool {
+		code, resp, _ := postVerify(t, ts.URL, VerifyRequest{Domain: d, Refresh: true})
+		if code != http.StatusOK || resp.Results[0].Error != "" {
+			t.Fatalf("post-soak verify of %s: %d %+v", d, code, resp.Results)
+		}
+		assertMatchesOffline(t, resp.Results[0], offline[i])
+	}
+	if fi.Stats().Transient == 0 || fi.Stats().Spikes == 0 {
+		t.Error("fault injector never fired — the soak exercised nothing")
+	}
+}
+
+// TestServerCloseNoGoroutineLeaksUnderChaos: a server torn down while
+// chaos is in full swing — hung evidence sources, hung fetches, a fast
+// background refresh tick — leaks no goroutines once every bounded
+// context unwinds (satellite: shutdown hygiene under -race).
+func TestServerCloseNoGoroutineLeaksUnderChaos(t *testing.T) {
+	w, _, v := testVerifier(t)
+	baseline := runtime.NumGoroutine()
+
+	fi := crawler.NewFaultInjector(w, crawler.FaultConfig{
+		Seed:          7,
+		TransientRate: 0.2,
+		HangRate:      0.2, // unbounded hangs: only the fetch context ends them
+	})
+	s, err := New(v, Config{
+		Fetcher:              fi,
+		Crawl:                crawler.Config{FetchTimeout: 30 * time.Millisecond},
+		MaxTimeout:           200 * time.Millisecond,
+		SourceTimeout:        20 * time.Millisecond,
+		GraphRefreshInterval: 2 * time.Millisecond,
+		JitterSeed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := newScriptedSource("chaos", "hang-ctx", 0) // unwinds with its context
+	replaceSources(s, chaos)
+
+	domains := soakPool(t, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			s.verifyDomain(ctx, s.model.Load(), domains[i%len(domains)], true)
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	// Detached flights (MaxTimeout), hung fetches (FetchTimeout), hung
+	// assessments (SourceTimeout) and the refresh loop must all unwind.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 },
+		fmt.Sprintf("goroutines back to baseline %d (now %d)", baseline, runtime.NumGoroutine()))
+}

@@ -166,6 +166,17 @@ type metrics struct {
 	sourceErrors   *labelCounter // source
 	graphRefreshes counter
 	refreshSecs    *histogram
+	// Resilience: breaker lifecycle transitions ("source|state" keys,
+	// rendered as two labels), requests fast-failed by an open breaker,
+	// assessments shed by a full bulkhead or cut off by the per-source
+	// deadline, verdicts that failed the evidence quorum, and failed
+	// model hot-reload attempts (the reload itself only logs).
+	breakerTransitions *labelCounter // "source|state"
+	breakerRejects     *labelCounter // source
+	sourceSheds        *labelCounter // source
+	sourceTimeouts     *labelCounter // source
+	quorumFailures     counter
+	modelReloadFails   counter
 	// Per-stage latency of the on-demand pipeline: crawl → preprocess
 	// (summarize, stop-word removal, link extraction) → per-source
 	// assessment (sourceSecs). requestSecs covers the whole request.
@@ -176,16 +187,20 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:       &labelCounter{},
-		domains:        &labelCounter{},
-		verdicts:       &labelCounter{},
-		sourceSecs:     newHistogramVec(durationBuckets),
-		sourceContribs: &labelCounter{},
-		sourceErrors:   &labelCounter{},
-		refreshSecs:    newHistogram(durationBuckets),
-		crawlSecs:      newHistogram(durationBuckets),
-		preprocessSecs: newHistogram(durationBuckets),
-		requestSecs:    newHistogram(durationBuckets),
+		requests:           &labelCounter{},
+		domains:            &labelCounter{},
+		verdicts:           &labelCounter{},
+		sourceSecs:         newHistogramVec(durationBuckets),
+		sourceContribs:     &labelCounter{},
+		sourceErrors:       &labelCounter{},
+		breakerTransitions: &labelCounter{},
+		breakerRejects:     &labelCounter{},
+		sourceSheds:        &labelCounter{},
+		sourceTimeouts:     &labelCounter{},
+		refreshSecs:        newHistogram(durationBuckets),
+		crawlSecs:          newHistogram(durationBuckets),
+		preprocessSecs:     newHistogram(durationBuckets),
+		requestSecs:        newHistogram(durationBuckets),
 	}
 }
 
@@ -199,6 +214,27 @@ func writeLabelCounter(w io.Writer, name, help, label string, lc *labelCounter) 
 	keys, counts := lc.snapshot()
 	for i, k := range keys {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, counts[i])
+	}
+}
+
+// writeLabel2Counter renders a labelCounter whose keys are
+// "value1|value2" composites as a two-label family (the breaker
+// transition counter: source and target state).
+func writeLabel2Counter(w io.Writer, name, help, label1, label2 string, lc *labelCounter) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys, counts := lc.snapshot()
+	for i, k := range keys {
+		v1, v2, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "%s{%s=%q,%s=%q} %d\n", name, label1, v1, label2, v2, counts[i])
+	}
+}
+
+// writeLabelGauge renders one gauge family from explicit label/value
+// pairs read off live components at render time (breaker states).
+func writeLabelGauge(w io.Writer, name, help, label string, labels []string, values []float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for i, l := range labels {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, l, formatFloat(values[i]))
 	}
 }
 

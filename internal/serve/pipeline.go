@@ -112,6 +112,21 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 	})
 	switch {
 	case err != nil:
+		// Live assessment failed (crawl got nothing, quorum unmet, or
+		// the caller's deadline fired while waiting on the flight). The
+		// degradation policy: an expired verdict within the stale-serve
+		// budget answers — marked — rather than erroring; honesty over
+		// availability only when even the stale fallback is exhausted.
+		if sv, stale, ok := s.cache.getStale(key); ok {
+			if stale {
+				s.met.domains.inc("stale")
+			} else {
+				s.met.domains.inc("cache_hit")
+			}
+			sv.Cached = true
+			sv.Stale = stale
+			return sv
+		}
 		s.met.domains.inc("error")
 		return DomainVerdict{Domain: domain, Error: err.Error()}
 	case shared:
@@ -181,9 +196,23 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 // ensemble machinery's equal-weight averaging — with only the text and
 // network sources contributing this is bit-identical to the offline
 // pipeline's (textProb+networkProb)/2 decision rule. A source that
-// abstains (errNoEvidence) or fails drops out; the verdict records
-// exactly which sources contributed.
+// abstains (errNoEvidence) or fails — including one tripped by its
+// breaker, shed by its bulkhead, or cut off by its deadline — drops
+// out; the verdict records exactly which sources contributed. Fusion
+// proceeds only when at least MinEvidence sources contributed;
+// otherwise the caller falls back to a stale cached verdict.
 func (s *Server) fuse(ctx context.Context, slot *modelSlot, p dataset.Pharmacy) (DomainVerdict, error) {
+	// Fusion is the final, bounded stage: once a crawl has paid for an
+	// observation, the sources get to vote even when the caller's
+	// deadline fired mid-crawl (the partial-degradation path) — each
+	// assessment is individually bounded by the per-source deadline, so
+	// detaching here trades at most len(sources)×SourceTimeout for a
+	// verdict instead of discarding the collected pages. With the
+	// per-source deadline explicitly disabled, the request context
+	// stays the only bound.
+	if s.cfg.SourceTimeout > 0 {
+		ctx = context.WithoutCancel(ctx)
+	}
 	v := DomainVerdict{Domain: p.Domain}
 	probs := make([]float64, 0, len(s.sources))
 	for _, src := range s.sources {
@@ -196,8 +225,12 @@ func (s *Server) fuse(ctx context.Context, slot *modelSlot, p dataset.Pharmacy) 
 		}
 		if err != nil {
 			// One failing backend degrades the verdict to the remaining
-			// sources rather than failing the domain.
-			s.met.sourceErrors.inc(name)
+			// sources rather than failing the domain. Breaker and
+			// bulkhead rejections were already counted by the guard
+			// under their own names — don't double-book them as errors.
+			if !errors.Is(err, errSourceOpen) && !errors.Is(err, errSourceSaturated) {
+				s.met.sourceErrors.inc(name)
+			}
 			continue
 		}
 		s.met.sourceContribs.inc(name)
@@ -211,8 +244,10 @@ func (s *Server) fuse(ctx context.Context, slot *modelSlot, p dataset.Pharmacy) 
 			v.NetworkProb = ev.Prob
 		}
 	}
-	if len(probs) == 0 {
-		return DomainVerdict{}, fmt.Errorf("no evidence source produced a verdict for %s", p.Domain)
+	if len(probs) < s.cfg.MinEvidence {
+		s.met.quorumFailures.inc()
+		return DomainVerdict{}, fmt.Errorf("%w: %d of %d required sources voted for %s",
+			errInsufficientEvidence, len(probs), s.cfg.MinEvidence, p.Domain)
 	}
 	// Equal-weight selection over every contributing source — the same
 	// averaging the offline ensemble applies to its selected bag.

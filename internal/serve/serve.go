@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -118,7 +119,44 @@ type Config struct {
 	// leaves the registry source permanently abstaining.
 	Registry RegistryLookup
 
-	// now is the clock, injectable for cache-TTL tests.
+	// SourceTimeout bounds one evidence-source assessment (default 2 s;
+	// negative = unbounded). A source that blows its deadline is
+	// recorded as a breaker failure and the verdict degrades to the
+	// remaining sources.
+	SourceTimeout time.Duration
+	// SourceConcurrency is the per-source bulkhead: at most this many
+	// assessments of one source run at once (default 8). Beyond it,
+	// calls shed immediately — one hung backend occupies its own slots,
+	// never the daemon's worker pool.
+	SourceConcurrency int
+	// BreakerWindow is the rolling outcome window of each source's
+	// circuit breaker (default 16 assessments).
+	BreakerWindow int
+	// BreakerFailures is the failure count within the window that opens
+	// the breaker (default 8; clamped to BreakerWindow).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker fast-fails before
+	// admitting half-open probes (default 10 s), measured on the
+	// injectable clock.
+	BreakerCooldown time.Duration
+	// BreakerProbes is the consecutive half-open successes that close
+	// the breaker again (default 2).
+	BreakerProbes int
+	// MinEvidence is the fusion quorum: a live verdict needs at least
+	// this many contributing sources (default 1). Below it, the request
+	// falls back to a stale cached verdict (or errors).
+	MinEvidence int
+	// MaxStale is the stale-serve budget: when live assessment fails
+	// entirely, the cache may serve an expired verdict up to this long
+	// past its TTL, marked `"stale":true` (default 1 h; negative
+	// disables stale serving).
+	MaxStale time.Duration
+	// JitterSeed seeds the ±20% jitter applied to every background
+	// graph-refresh tick so fleet-wide refreshes desynchronize
+	// (0 = derived from the wall clock at startup).
+	JitterSeed int64
+
+	// now is the clock, injectable for cache-TTL and breaker tests.
 	now func() time.Time
 }
 
@@ -175,6 +213,36 @@ func (c Config) withDefaults() Config {
 	if c.GraphDirtyThreshold <= 0 {
 		c.GraphDirtyThreshold = 16
 	}
+	if c.SourceTimeout == 0 {
+		c.SourceTimeout = 2 * time.Second
+	}
+	if c.SourceConcurrency <= 0 {
+		c.SourceConcurrency = 8
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 16
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 8
+	}
+	if c.BreakerFailures > c.BreakerWindow {
+		c.BreakerFailures = c.BreakerWindow
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
+	if c.MinEvidence <= 0 {
+		c.MinEvidence = 1
+	}
+	if c.MaxStale == 0 {
+		c.MaxStale = time.Hour
+	}
+	if c.MaxStale < 0 {
+		c.MaxStale = 0
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -205,7 +273,7 @@ type Server struct {
 	met     *metrics
 	agg     *crawler.Aggregator
 	graph   *linkGraph
-	sources []EvidenceSource
+	sources []*guardedSource
 	start   time.Time
 
 	stopc     chan struct{}
@@ -228,19 +296,20 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 		cfg:    cfg,
 		fetch:  cfg.Fetcher,
 		pre:    textproc.NewPreprocessor(),
-		cache:  newVerdictCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
+		cache:  newVerdictCache(cfg.CacheSize, cfg.CacheTTL, cfg.MaxStale, cfg.now),
 		flight: newFlightGroup(cfg.MaxTimeout),
 		adm:    newAdmission(parallel.Workers(cfg.Workers), cfg.QueueDepth),
 		met:    met,
 		agg:    &crawler.Aggregator{},
 		graph:  graph,
-		// The ordered evidence backends of a fused verdict. Order is
+		// The ordered evidence backends of a fused verdict, each behind
+		// its own breaker + bulkhead + deadline guard. Order is
 		// presentation only — every contributing source carries equal
 		// weight in the fusion.
-		sources: []EvidenceSource{
-			textSource{},
-			networkSource{graph: graph},
-			registrySource{lookup: cfg.Registry},
+		sources: []*guardedSource{
+			newGuardedSource(textSource{}, cfg, met),
+			newGuardedSource(networkSource{graph: graph}, cfg, met),
+			newGuardedSource(registrySource{lookup: cfg.Registry}, cfg, met),
 		},
 		stopc: make(chan struct{}),
 		start: cfg.now(),
@@ -254,9 +323,16 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 
 // refreshLoop bounds link-graph score staleness under sparse traffic:
 // request-driven refreshes fire on dirtiness or cold domains, the tick
-// catches whatever dirtiness accumulated below the threshold.
+// catches whatever dirtiness accumulated below the threshold. Each
+// tick interval is jittered ±20% from a seeded stream so a fleet of
+// daemons started together never synchronizes its refresh spikes.
 func (s *Server) refreshLoop(every time.Duration) {
-	t := time.NewTicker(every)
+	seed := s.cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := newJitterRNG(seed)
+	t := time.NewTimer(jitterInterval(rng, every))
 	defer t.Stop()
 	for {
 		select {
@@ -264,8 +340,18 @@ func (s *Server) refreshLoop(every time.Duration) {
 			return
 		case <-t.C:
 			s.graph.refreshIfStale(s.model.Load().v, "")
+			t.Reset(jitterInterval(rng, every))
 		}
 	}
+}
+
+// newJitterRNG builds the seeded stream behind the refresh jitter.
+func newJitterRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// jitterInterval draws one tick interval in [0.8, 1.2)×every from the
+// seeded stream.
+func jitterInterval(rng *rand.Rand, every time.Duration) time.Duration {
+	return time.Duration(float64(every) * (0.8 + 0.4*rng.Float64()))
 }
 
 // Close stops the background link-graph refresher (when
@@ -284,6 +370,11 @@ func (s *Server) SwapModel(v *core.Verifier) {
 
 // ModelFingerprint reports the identity of the currently served model.
 func (s *Server) ModelFingerprint() string { return s.model.Load().fingerprint }
+
+// RecordReloadFailure counts one failed model hot-reload attempt (the
+// daemon keeps serving the old model; the failure was previously only
+// visible in the logs).
+func (s *Server) RecordReloadFailure() { s.met.modelReloadFails.inc() }
 
 // SetDraining flips the readiness state. While draining, /readyz
 // returns 503 (load balancers stop routing) and new verify requests are
@@ -337,6 +428,10 @@ type DomainVerdict struct {
 	// deadline after collecting some pages: the verdict covers only the
 	// collected snapshot and was not cached, so a later request re-crawls.
 	Partial bool `json:"partial,omitempty"`
+	// Stale reports that live assessment failed and this verdict is an
+	// expired cache entry served under the stale-serve budget — honest
+	// degradation instead of an error while the backends recover.
+	Stale bool `json:"stale,omitempty"`
 	// Cached reports that the verdict was served from the cache; Crawl
 	// is then the telemetry of the original crawl.
 	Cached bool           `json:"cached"`
@@ -579,7 +674,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	slot := s.model.Load()
 	sources := make([]map[string]any, len(s.sources))
 	for i, src := range s.sources {
-		sources[i] = map[string]any{"name": src.Name(), "healthy": src.Healthy()}
+		sources[i] = map[string]any{
+			"name":    src.Name(),
+			"healthy": src.Healthy(),
+			"breaker": src.BreakerState(),
+		}
 	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -611,6 +710,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeLabelCounter(w, "pharmaverify_source_errors_total",
 		"Evidence-source failures (the verdict degraded to the remaining sources).", "source", s.met.sourceErrors)
 
+	// Resilience: per-source breaker state (0 closed, 1 half-open,
+	// 2 open), lifecycle transitions, and the shed/fast-fail/timeout
+	// counters of the degradation path.
+	names := make([]string, len(s.sources))
+	states := make([]float64, len(s.sources))
+	for i, src := range s.sources {
+		names[i] = src.Name()
+		states[i] = float64(src.brk.currentState())
+	}
+	writeLabelGauge(w, "pharmaverify_source_breaker_state",
+		"Circuit-breaker state per evidence source (0 closed, 1 half-open, 2 open).", "source", names, states)
+	writeLabel2Counter(w, "pharmaverify_source_breaker_transitions_total",
+		"Circuit-breaker lifecycle transitions by source and target state.", "source", "state", s.met.breakerTransitions)
+	writeLabelCounter(w, "pharmaverify_source_breaker_rejections_total",
+		"Assessments fast-failed because the source's breaker was open.", "source", s.met.breakerRejects)
+	writeLabelCounter(w, "pharmaverify_source_shed_total",
+		"Assessments shed because the source's bulkhead was saturated.", "source", s.met.sourceSheds)
+	writeLabelCounter(w, "pharmaverify_source_timeouts_total",
+		"Assessments cut off by the per-source deadline.", "source", s.met.sourceTimeouts)
+	writeMetric(w, "pharmaverify_quorum_failures_total",
+		"Verdicts abandoned because fewer sources voted than the evidence quorum requires.", "counter", fmt.Sprint(s.met.quorumFailures.value()))
+	writeMetric(w, "pharmaverify_stale_verdicts_total",
+		"Expired cache entries served as marked stale fallbacks after live assessment failed.", "counter", fmt.Sprint(s.cache.staleServed()))
+
 	ls := s.graph.live.Stats()
 	writeMetric(w, "pharmaverify_linkgraph_folds_total", "Crawl observations folded into the live link graph.", "counter", fmt.Sprint(ls.Folds))
 	writeMetric(w, "pharmaverify_linkgraph_dropped_names_total", "Domain names rejected by the link-graph node bound.", "counter", fmt.Sprint(ls.DroppedNames))
@@ -638,6 +761,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "pharmaverify_inflight_requests", "Requests holding a worker slot.", "gauge", fmt.Sprint(s.adm.inService()))
 	writeMetric(w, "pharmaverify_queue_rejections_total", "Requests shed because the admission queue was full.", "counter", fmt.Sprint(s.met.queueReject.value()))
 	writeMetric(w, "pharmaverify_model_reloads_total", "Hot model reloads since start.", "counter", fmt.Sprint(s.met.modelReloads.value()))
+	writeMetric(w, "pharmaverify_model_reload_failures_total", "Failed model hot-reload attempts (the previous model kept serving).", "counter", fmt.Sprint(s.met.modelReloadFails.value()))
 
 	st, crawls := s.agg.Snapshot()
 	writeMetric(w, "pharmaverify_crawls_total", "On-demand domain crawls.", "counter", fmt.Sprint(crawls))
