@@ -13,6 +13,15 @@
 // With -pprof-addr set, the net/http/pprof handlers are additionally
 // served on that (separate) listener; profiling is off by default.
 //
+// With -reverify set, a background continuous-verification pipeline
+// (internal/reverify) sweeps the known-domain corpus through the same
+// serving pipeline — without taking admission slots from live traffic —
+// scores vocabulary and link drift against the model's training sketch,
+// and past -drift-retrain-threshold arms the -shadow-model candidate to
+// double-assess traffic; -shadow-auto-promote then hot-swaps it in once
+// its verdict-flip rate clears the gate. Sweep progress journals to
+// -reverify-checkpoint for exact crash resume.
+//
 // Signals:
 //
 //	SIGHUP            hot-reload the model file (atomic swap; in-flight
@@ -37,16 +46,35 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pharmaverify/internal/buildinfo"
+	"pharmaverify/internal/checkpoint"
 	"pharmaverify/internal/core"
 	"pharmaverify/internal/crawler"
 	"pharmaverify/internal/parallel"
+	"pharmaverify/internal/reverify"
 	"pharmaverify/internal/serve"
 	"pharmaverify/internal/webgen"
 )
+
+// reverifyOpts carries the continuous-verification flags into run.
+type reverifyOpts struct {
+	enabled        bool
+	corpusFile     string
+	checkpointDir  string
+	interval       time.Duration
+	rate           float64
+	threshold      float64
+	minObs         int
+	shadowModel    string
+	shadowDeferred bool
+	minAssess      uint64
+	maxFlipRate    float64
+	autoPromote    bool
+}
 
 func main() {
 	var (
@@ -84,6 +112,19 @@ func main() {
 		maxStale        = flag.Duration("max-stale", time.Hour, "stale-serve budget: how far past its TTL an expired verdict may be served, marked, when live assessment fails (negative = never serve stale)")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = profiling disabled")
+
+		reverifyOn    = flag.Bool("reverify", false, "run the continuous re-verification pipeline in the background")
+		revCorpus     = flag.String("reverify-corpus", "", "seed the sweep corpus from this file (one domain per line; the corpus also grows from served traffic)")
+		revCheckpoint = flag.String("reverify-checkpoint", "", "journal sweep progress under this directory for exact crash resume (empty = restart sweeps from scratch)")
+		revInterval   = flag.Duration("reverify-interval", time.Hour, "per-domain politeness bound between re-verifications (0 = none)")
+		revRate       = flag.Float64("reverify-rate", 1, "global sweep crawl budget in re-verifications per second (<= 0 = unpaced)")
+		driftThresh   = flag.Float64("drift-retrain-threshold", 0.35, "drift score (term or link total-variation distance from the training sketch) that triggers a retrain; negative disables, 0 fires every sweep")
+		driftMinObs   = flag.Int("drift-min-observations", 25, "re-verified domains required before drift scores can trigger")
+		shadowModel   = flag.String("shadow-model", "", "candidate model file to shadow-deploy: it double-assesses live traffic without affecting verdicts")
+		shadowDefer   = flag.Bool("shadow-deferred", false, "do not arm -shadow-model at startup; the drift trigger loads and arms it when re-verification detects drift")
+		shadowMinA    = flag.Uint64("shadow-min-assessments", 16, "double-assessed verdicts required before the promotion gate is evaluated")
+		shadowMaxFlip = flag.Float64("shadow-max-flip-rate", 0.1, "highest shadow verdict-flip rate that still promotes")
+		shadowAuto    = flag.Bool("shadow-auto-promote", true, "let the pipeline promote (or demote) the shadow through the hot-reload path; off = measure only")
 
 		worldSeed    = flag.Int64("world-seed", 0, "serve against a synthetic webgen world with this seed instead of live HTTP (tests, smoke)")
 		worldSnap    = flag.Int("world-snapshot", 1, "synthetic world crawl epoch")
@@ -142,7 +183,20 @@ func main() {
 		BreakerProbes:        *breakerProbes,
 		MinEvidence:          *minEvidence,
 		MaxStale:             *maxStale,
-	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain, *pprofAddr); err != nil {
+	}, *worldSeed, *worldSnap, *worldLegit, *worldIllegit, *drain, *pprofAddr, reverifyOpts{
+		enabled:        *reverifyOn,
+		corpusFile:     *revCorpus,
+		checkpointDir:  *revCheckpoint,
+		interval:       *revInterval,
+		rate:           *revRate,
+		threshold:      *driftThresh,
+		minObs:         *driftMinObs,
+		shadowModel:    *shadowModel,
+		shadowDeferred: *shadowDefer,
+		minAssess:      *shadowMinA,
+		maxFlipRate:    *shadowMaxFlip,
+		autoPromote:    *shadowAuto,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pharmaverifyd:", err)
 		os.Exit(1)
 	}
@@ -193,7 +247,105 @@ func loadModel(path string) (*core.Verifier, error) {
 	return core.LoadVerifier(f)
 }
 
-func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, worldLegit, worldIllegit int, drain time.Duration, pprofAddr string) error {
+// loadCorpusFile reads one domain per line (blank lines and #-comments
+// ignored).
+func loadCorpusFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load corpus: %w", err)
+	}
+	var domains []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		domains = append(domains, line)
+	}
+	return domains, nil
+}
+
+// startReverify seeds the corpus, arms any non-deferred shadow model and
+// launches the continuous-verification pipeline. The returned stop
+// cancels the sweep loop and waits for it to exit.
+func startReverify(srv *serve.Server, o reverifyOpts) (stop func(), err error) {
+	if o.shadowModel != "" && !o.shadowDeferred {
+		cand, err := loadModel(o.shadowModel)
+		if err != nil {
+			return nil, fmt.Errorf("load shadow model: %w", err)
+		}
+		if err := srv.SetShadow(cand); err != nil {
+			return nil, fmt.Errorf("arm shadow model: %w", err)
+		}
+		logf("shadow model %.12s armed from %s", cand.Fingerprint(), o.shadowModel)
+	}
+	if !o.enabled {
+		return func() {}, nil
+	}
+
+	var store *checkpoint.Store
+	if o.checkpointDir != "" {
+		store, err = checkpoint.Open(o.checkpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("open reverify checkpoint: %w", err)
+		}
+	}
+	if o.corpusFile != "" {
+		domains, err := loadCorpusFile(o.corpusFile)
+		if err != nil {
+			return nil, err
+		}
+		logf("reverify corpus: %d domains admitted from %s", srv.AddCorpusDomains(domains), o.corpusFile)
+	}
+
+	cfg := reverify.Config{
+		Checkpoint: store,
+		Interval:   o.interval,
+		Rate:       o.rate,
+		Drift:      reverify.DriftConfig{RetrainThreshold: o.threshold, MinObservations: o.minObs},
+		Promotion: reverify.PromotionConfig{
+			MinAssessments: o.minAssess,
+			MaxFlipRate:    o.maxFlipRate,
+			Auto:           o.autoPromote,
+		},
+		Logf: logf,
+	}
+	if o.shadowModel != "" {
+		// The retrain hook re-reads the candidate file at trigger time, so
+		// an operator can drop a freshly trained model in place while the
+		// daemon runs.
+		cfg.Retrain = func(context.Context) error {
+			cand, err := loadModel(o.shadowModel)
+			if err != nil {
+				return fmt.Errorf("load shadow model: %w", err)
+			}
+			if err := srv.SetShadow(cand); err != nil {
+				return fmt.Errorf("arm shadow model: %w", err)
+			}
+			logf("reverify: drift retrain armed shadow model %.12s from %s", cand.Fingerprint(), o.shadowModel)
+			return nil
+		}
+	}
+
+	pipe := reverify.New(srv, cfg)
+	srv.RegisterMetrics(pipe.WriteMetrics)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := pipe.Run(ctx); err != nil && ctx.Err() == nil {
+			logf("reverify pipeline stopped: %v", err)
+		}
+	}()
+	logf("reverify pipeline running (interval %v, rate %.2f/s, drift threshold %.3f)",
+		o.interval, o.rate, o.threshold)
+	return func() {
+		cancel()
+		<-done
+	}, nil
+}
+
+func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, worldLegit, worldIllegit int, drain time.Duration, pprofAddr string, rev reverifyOpts) error {
 	if cfg.Workers > 0 {
 		parallel.SetDefault(cfg.Workers)
 	}
@@ -223,6 +375,12 @@ func run(modelPath, addr string, cfg serve.Config, worldSeed int64, worldSnap, w
 		return err
 	}
 	defer srv.Close()
+
+	stopReverify, err := startReverify(srv, rev)
+	if err != nil {
+		return err
+	}
+	defer stopReverify()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,84 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreGetCorruptRecord feeds mutated record bytes to the decode
+// path and to Store.Get: whatever the corruption — truncation, flipped
+// bits, hostile length prefixes — a read must either return the
+// genuinely valid record or quarantine the file and report a miss that
+// a fresh Put recovers from. It must never panic and never return
+// garbage as a hit. The re-verification scheduler leans on exactly this
+// contract: a damaged journal degrades a resume to re-crawling, never
+// to wrong sweep state.
+func FuzzStoreGetCorruptRecord(f *testing.F) {
+	const kind, key = "reverify", "domain.test"
+	valid := encode(key, []byte(`{"sweep":3}`))
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                        // truncated mid-record
+	f.Add(valid[:len(valid)-1])                        // missing final checksum byte
+	f.Add(valid[:len(magic)+4])                        // truncated key length prefix
+	f.Add([]byte{})                                    // empty file
+	f.Add([]byte(magic))                               // header only
+	f.Add(encode("other.test", []byte(`{"sweep":3}`))) // filename collision: wrong embedded key
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	// Hostile key length claiming more bytes than the record holds.
+	hostile := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hostile[len(magic):], 1<<40)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The pure decoder must reject every non-canonical encoding.
+		if k, payload, err := decode(data); err == nil {
+			if !bytes.Equal(encode(k, payload), data) {
+				t.Fatal("decode accepted a non-canonical record")
+			}
+		}
+
+		// A store reading the bytes as (kind, key)'s record must either
+		// hit with the canonical record for that key, or quarantine.
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Logf = func(string, ...any) {}
+		p := s.path(kind, key)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payload, ok, err := s.Get(kind, key)
+		if err != nil {
+			t.Fatalf("Get returned an error for corrupt bytes (want quarantine): %v", err)
+		}
+		if ok {
+			if !bytes.Equal(encode(key, payload), data) {
+				t.Fatal("Get served a record the canonical encoding disagrees with")
+			}
+			return
+		}
+		// Quarantined: the slot must be cleanly rewritable, exactly how a
+		// resuming sweep recomputes the unit.
+		if s.Quarantined() != 1 {
+			t.Fatalf("Quarantined = %d after one corrupt read, want 1", s.Quarantined())
+		}
+		if err := s.Put(kind, key, []byte("recomputed")); err != nil {
+			t.Fatalf("Put after quarantine: %v", err)
+		}
+		got, ok, err := s.Get(kind, key)
+		if err != nil || !ok || !bytes.Equal(got, []byte("recomputed")) {
+			t.Fatalf("recomputed unit unreadable after quarantine: %q ok=%v err=%v", got, ok, err)
+		}
+	})
+}

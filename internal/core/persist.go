@@ -32,6 +32,10 @@ type verifierState struct {
 	// TrainCrawl is the training snapshot's crawl telemetry (optional;
 	// absent in models saved by older versions).
 	TrainCrawl *crawler.Stats `json:"trainCrawl,omitempty"`
+	// TrainSketch is the training corpus's term/link distribution
+	// snapshot, the drift-monitoring baseline (optional; absent in
+	// models saved by older versions).
+	TrainSketch *Sketch `json:"trainSketch,omitempty"`
 }
 
 // Save serializes the trained verifier as JSON, so a model trained once
@@ -60,6 +64,7 @@ func (v *Verifier) Save(w io.Writer) error {
 		TrainOutbound: v.trainOutbound,
 		Seeds:         v.seeds,
 		TrainCrawl:    v.trainCrawl,
+		TrainSketch:   v.sketch,
 	})
 }
 
@@ -116,6 +121,7 @@ func LoadVerifier(r io.Reader) (*Verifier, error) {
 		trainOutbound: s.TrainOutbound,
 		seeds:         s.Seeds,
 		trainCrawl:    s.TrainCrawl,
+		sketch:        s.TrainSketch,
 		// The model's identity is the digest of its persisted bytes —
 		// exactly what a fresh Save of this verifier would write again
 		// (save→load→save is byte-idempotent, see persist tests).

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"pharmaverify/internal/dataset"
+)
+
+// Sketch is a compact distributional snapshot of a training corpus: the
+// relative frequencies of its most common summary terms and outbound
+// link endpoints. A verifier computes one at train time and carries it
+// in its persisted form, so a serving deployment can compare the
+// distributions of *fresh* crawls against the world the model was
+// trained on — the drift signal behind the continuous re-verification
+// loop. The paper's model-evolution experiment (Dataset 1 vs Dataset 2,
+// six months apart) shows exactly this shift: illegitimate vocabulary
+// drifts toward legitimate language and link profiles churn, degrading
+// stale models. The sketch turns that offline observation into an
+// online measurement.
+type Sketch struct {
+	// Terms maps each kept term to its relative frequency among all
+	// summary terms of the training snapshot. Only the MaxSketchTerms
+	// most frequent terms are kept; the remaining probability mass
+	// (1 - sum of values) belongs to an implicit "other" bucket.
+	Terms map[string]float64 `json:"terms"`
+	// Links maps each kept outbound endpoint domain to its relative
+	// frequency among all outbound link observations (one observation
+	// per (pharmacy, endpoint) pair). Top MaxSketchLinks kept, same
+	// "other" bucket convention.
+	Links map[string]float64 `json:"links"`
+	// Domains is the number of pharmacies the sketch summarizes.
+	Domains int `json:"domains"`
+}
+
+// Sketch size bounds: large enough that the kept mass dominates both
+// distributions for paper-scale corpora, small enough that the sketch
+// adds little to a persisted model.
+const (
+	MaxSketchTerms = 2048
+	MaxSketchLinks = 512
+)
+
+// BuildSketch computes the distributional snapshot of a labeled
+// training corpus. maxTerms/maxLinks bound the kept keys (<= 0 uses
+// MaxSketchTerms/MaxSketchLinks). The top-K selection is deterministic:
+// higher count first, lexicographically smaller key on ties.
+func BuildSketch(snap *dataset.Snapshot, maxTerms, maxLinks int) *Sketch {
+	if maxTerms <= 0 {
+		maxTerms = MaxSketchTerms
+	}
+	if maxLinks <= 0 {
+		maxLinks = MaxSketchLinks
+	}
+	termCounts := make(map[string]int)
+	linkCounts := make(map[string]int)
+	termTotal, linkTotal := 0, 0
+	for i := range snap.Pharmacies {
+		p := &snap.Pharmacies[i]
+		for _, t := range p.Terms {
+			termCounts[t]++
+			termTotal++
+		}
+		for _, ep := range p.Outbound {
+			linkCounts[ep]++
+			linkTotal++
+		}
+	}
+	return &Sketch{
+		Terms:   topKFrequencies(termCounts, termTotal, maxTerms),
+		Links:   topKFrequencies(linkCounts, linkTotal, maxLinks),
+		Domains: snap.Len(),
+	}
+}
+
+// topKFrequencies keeps the k most frequent keys as relative
+// frequencies of total. Ties break lexicographically so the sketch is a
+// pure function of the counts, never of map iteration order.
+func topKFrequencies(counts map[string]int, total, k int) map[string]float64 {
+	if total == 0 {
+		return map[string]float64{}
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	out := make(map[string]float64, k)
+	for _, key := range keys[:k] {
+		out[key] = float64(counts[key]) / float64(total)
+	}
+	return out
+}
+
+// KeptTermMass reports the probability mass the kept term keys cover
+// (1 - mass is the implicit "other" bucket).
+func (s *Sketch) KeptTermMass() float64 { return massOf(s.Terms) }
+
+// KeptLinkMass reports the probability mass the kept link keys cover.
+func (s *Sketch) KeptLinkMass() float64 { return massOf(s.Links) }
+
+// massOf sums in sorted-key order so the reported mass is bitwise
+// deterministic (float sums over Go map iteration order are not).
+func massOf(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// TrainingSketch returns the distributional snapshot computed when the
+// verifier was trained, or nil for models persisted by versions that
+// predate sketches. The returned sketch is the verifier's own state —
+// treat it as read-only.
+func (v *Verifier) TrainingSketch() *Sketch { return v.sketch }

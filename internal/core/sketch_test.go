@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"pharmaverify/internal/dataset"
+	"pharmaverify/internal/ml"
+)
+
+func sketchSnapshot() *dataset.Snapshot {
+	return &dataset.Snapshot{
+		Name: "sketch-test",
+		Pharmacies: []dataset.Pharmacy{
+			{Domain: "a.com", Label: ml.Legitimate,
+				Terms:    []string{"pharmacy", "pharmacy", "licensed", "refill"},
+				Outbound: []string{"fda.gov", "nabp.net"}},
+			{Domain: "b.com", Label: ml.Illegitimate,
+				Terms:    []string{"viagra", "cheap", "pharmacy"},
+				Outbound: []string{"rxwinners.com", "fda.gov"}},
+		},
+	}
+}
+
+func TestBuildSketchFrequenciesAndDeterminism(t *testing.T) {
+	snap := sketchSnapshot()
+	s := BuildSketch(snap, 0, 0)
+	if s.Domains != 2 {
+		t.Fatalf("Domains = %d, want 2", s.Domains)
+	}
+	// 7 term observations, "pharmacy" appears 3 times.
+	if got := s.Terms["pharmacy"]; math.Abs(got-3.0/7.0) > 1e-15 {
+		t.Fatalf("Terms[pharmacy] = %v, want 3/7", got)
+	}
+	// 4 link observations, fda.gov appears twice.
+	if got := s.Links["fda.gov"]; math.Abs(got-2.0/4.0) > 1e-15 {
+		t.Fatalf("Links[fda.gov] = %v, want 1/2", got)
+	}
+	if m := s.KeptTermMass(); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("KeptTermMass = %v, want 1 (everything kept)", m)
+	}
+	// Pure function of the snapshot: a second build is identical.
+	if again := BuildSketch(snap, 0, 0); !reflect.DeepEqual(s, again) {
+		t.Fatal("BuildSketch is not deterministic")
+	}
+}
+
+func TestBuildSketchTopKDeterministicTieBreak(t *testing.T) {
+	snap := &dataset.Snapshot{Pharmacies: []dataset.Pharmacy{
+		{Domain: "a.com", Terms: []string{"zz", "aa", "mm", "top", "top"}},
+	}}
+	s := BuildSketch(snap, 2, 0)
+	if len(s.Terms) != 2 {
+		t.Fatalf("kept %d terms, want 2", len(s.Terms))
+	}
+	// "top" (count 2) first, then the lexicographically smallest of the
+	// count-1 ties ("aa") — never "mm" or "zz".
+	if _, ok := s.Terms["top"]; !ok {
+		t.Fatal("most frequent term not kept")
+	}
+	if _, ok := s.Terms["aa"]; !ok {
+		t.Fatalf("tie not broken lexicographically: kept %v", s.Terms)
+	}
+}
+
+func TestBuildSketchEmptySnapshot(t *testing.T) {
+	s := BuildSketch(&dataset.Snapshot{}, 0, 0)
+	if len(s.Terms) != 0 || len(s.Links) != 0 || s.Domains != 0 {
+		t.Fatalf("empty snapshot sketch not empty: %+v", s)
+	}
+	if s.KeptTermMass() != 0 || s.KeptLinkMass() != 0 {
+		t.Fatal("empty sketch reports nonzero mass")
+	}
+}
+
+// TestTrainingSketchPersists pins the drift baseline's lifecycle: Train
+// computes it, Save/LoadVerifier round-trip it intact, and the
+// fingerprint still matches across the round trip.
+func TestTrainingSketchPersists(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	v, err := Train(snap, Options{Classifier: NBM, Terms: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := v.TrainingSketch()
+	if sk == nil || len(sk.Terms) == 0 || len(sk.Links) == 0 {
+		t.Fatalf("Train produced no usable sketch: %+v", sk)
+	}
+	if sk.Domains != snap.Len() {
+		t.Fatalf("sketch.Domains = %d, want %d", sk.Domains, snap.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVerifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.TrainingSketch(), sk) {
+		t.Fatal("sketch did not survive the save/load round trip")
+	}
+	if loaded.Fingerprint() != v.Fingerprint() {
+		t.Fatal("fingerprint changed across save/load with a sketch present")
+	}
+}

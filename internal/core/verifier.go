@@ -58,6 +58,10 @@ type Verifier struct {
 	// when the snapshot predates crawl stats), kept so a shipped model
 	// records the health of the crawl it was trained on.
 	trainCrawl *crawler.Stats
+	// sketch is the training corpus's term/link distribution snapshot
+	// (nil for models persisted before sketches existed), the baseline
+	// the serving layer's drift monitor compares fresh crawls against.
+	sketch *Sketch
 	// fp is the model's identity: the hex SHA-256 digest of its
 	// persisted (Save) form, set by Train and LoadVerifier.
 	fp string
@@ -170,6 +174,7 @@ func TrainCtx(ctx context.Context, snap *dataset.Snapshot, opts Options) (*Verif
 		trainOutbound: snap.Outbound(),
 		seeds:         make(map[string]float64),
 		trainCrawl:    snap.CrawlStats,
+		sketch:        BuildSketch(snap, 0, 0),
 	}
 	for _, p := range snap.Pharmacies {
 		if p.Label == ml.Legitimate {

@@ -1,0 +1,111 @@
+package reverify
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"pharmaverify/internal/core"
+)
+
+// driftMonitor folds re-verified observations into streaming term- and
+// link-frequency counters and scores them against the live model's
+// train-time sketch. The score per distribution is the total-variation
+// distance over the sketch's kept keys plus an implicit "other" bucket
+// (mass outside the kept keys): 0 means the fresh crawls look exactly
+// like the training corpus, 1 means nothing overlaps. Observations
+// accumulate across sweeps until a promotion re-baselines the monitor —
+// the window deliberately spans sweeps, because paper-scale drift
+// (vocabulary restyling, link-farm churn) emerges over months of
+// corpus, not one pass.
+type driftMonitor struct {
+	mu         sync.Mutex
+	base       *core.Sketch
+	termCounts map[string]int
+	termTotal  int
+	linkCounts map[string]int
+	linkTotal  int
+	// observations counts domains folded in, the trigger's evidence bar.
+	observations int
+}
+
+func newDriftMonitor(base *core.Sketch) *driftMonitor {
+	m := &driftMonitor{}
+	m.reset(base)
+	return m
+}
+
+// reset re-baselines the monitor on a (newly promoted) model's sketch
+// and clears the streaming counters — fresh model, fresh drift window.
+func (m *driftMonitor) reset(base *core.Sketch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.base = base
+	m.termCounts = make(map[string]int)
+	m.linkCounts = make(map[string]int)
+	m.termTotal, m.linkTotal, m.observations = 0, 0, 0
+}
+
+// observe folds one re-verified domain's terms and outbound endpoints
+// into the streaming counters.
+func (m *driftMonitor) observe(terms, outbound []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range terms {
+		m.termCounts[t]++
+	}
+	m.termTotal += len(terms)
+	for _, ep := range outbound {
+		m.linkCounts[ep]++
+	}
+	m.linkTotal += len(outbound)
+	m.observations++
+}
+
+// scores computes the current term and link drift and the observation
+// count. ok is false when no baseline exists (a model persisted before
+// sketches) — drift is then unmeasurable, not zero.
+func (m *driftMonitor) scores() (term, link float64, observations int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil {
+		return 0, 0, m.observations, false
+	}
+	return tvDistance(m.base.Terms, m.termCounts, m.termTotal),
+		tvDistance(m.base.Links, m.linkCounts, m.linkTotal),
+		m.observations, true
+}
+
+// tvDistance is the total-variation distance between the sketch's kept
+// distribution and the observed one, both extended with an "other"
+// bucket for the mass outside the kept keys. Iteration is over sorted
+// keys so the float sum — and therefore the exported gauge — is bitwise
+// deterministic.
+func tvDistance(base map[string]float64, counts map[string]int, total int) float64 {
+	if total == 0 || len(base) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	baseMass, obsMass, sum := 0.0, 0.0, 0.0
+	for _, k := range keys {
+		pk := base[k]
+		qk := float64(counts[k]) / float64(total)
+		sum += math.Abs(pk - qk)
+		baseMass += pk
+		obsMass += qk
+	}
+	pOther := 1 - baseMass
+	if pOther < 0 {
+		pOther = 0
+	}
+	qOther := 1 - obsMass
+	if qOther < 0 {
+		qOther = 0
+	}
+	sum += math.Abs(pOther - qOther)
+	return sum / 2
+}

@@ -1,0 +1,45 @@
+package reverify
+
+import (
+	"container/heap"
+	"time"
+)
+
+// domainQueue is the sweep's priority queue: oldest verdict first (a
+// never-verified domain sorts before every verified one), domain name
+// as the deterministic tie-break. It is materialized from the corpus at
+// each sweep boundary — the politeness ledger is only consulted once
+// per domain per sweep, so the order is stable within a sweep.
+type domainQueue struct {
+	domains []string
+	last    map[string]time.Time
+}
+
+func newDomainQueue(corpus []string, last map[string]time.Time) *domainQueue {
+	q := &domainQueue{domains: append([]string(nil), corpus...), last: last}
+	heap.Init(q)
+	return q
+}
+
+func (q *domainQueue) Len() int { return len(q.domains) }
+
+func (q *domainQueue) Less(i, j int) bool {
+	ti, tj := q.last[q.domains[i]], q.last[q.domains[j]]
+	if !ti.Equal(tj) {
+		return ti.Before(tj) // zero time (never verified) sorts first
+	}
+	return q.domains[i] < q.domains[j]
+}
+
+func (q *domainQueue) Swap(i, j int) { q.domains[i], q.domains[j] = q.domains[j], q.domains[i] }
+
+func (q *domainQueue) Push(x any) { q.domains = append(q.domains, x.(string)) }
+
+func (q *domainQueue) Pop() any {
+	d := q.domains[len(q.domains)-1]
+	q.domains = q.domains[:len(q.domains)-1]
+	return d
+}
+
+// pop removes and returns the highest-priority (stalest) domain.
+func (q *domainQueue) pop() string { return heap.Pop(q).(string) }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// corpusStore is the known-domain corpus: every domain the deployment
+// has ever successfully assessed, plus whatever the operator seeded
+// (the model's training domains, a corpus file). The continuous
+// re-verification scheduler sweeps it oldest-verdict-first; the serving
+// path grows it as live traffic discovers new domains. Bounded so an
+// abusive client enumerating throwaway domains cannot grow it without
+// limit — once full, new names are dropped (the sweep still covers
+// everything admitted before saturation).
+type corpusStore struct {
+	mu  sync.Mutex
+	max int
+	set map[string]struct{}
+}
+
+func newCorpusStore(max int) *corpusStore {
+	return &corpusStore{max: max, set: make(map[string]struct{})}
+}
+
+// add records one normalized domain. It reports whether the domain is
+// in the corpus afterwards (false only when the store is saturated and
+// the domain was not already a member).
+func (c *corpusStore) add(domain string) bool {
+	if domain == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.set[domain]; ok {
+		return true
+	}
+	if len(c.set) >= c.max {
+		return false
+	}
+	c.set[domain] = struct{}{}
+	return true
+}
+
+func (c *corpusStore) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.set)
+}
+
+// domains returns the corpus sorted — the scheduler's sweep order (and
+// journal layout) must be a pure function of the corpus contents, never
+// of map iteration order.
+func (c *corpusStore) domains() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.set))
+	for d := range c.set {
+		out = append(out, d)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// AddCorpusDomains seeds the known-domain corpus (normalizing each name
+// exactly like a verify request would) and returns how many of the
+// given domains are corpus members afterwards. The daemon seeds it at
+// startup from a corpus file or the model's training domains; the
+// serving path then grows it organically from successfully assessed
+// live traffic.
+func (s *Server) AddCorpusDomains(domains []string) int {
+	n := 0
+	for _, d := range domains {
+		if s.corpus.add(normalizeDomain(d)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Corpus returns the known-domain corpus in sorted order — the
+// re-verification scheduler's stable sweep universe.
+func (s *Server) Corpus() []string { return s.corpus.domains() }
+
+// CorpusSize reports the current corpus membership count.
+func (s *Server) CorpusSize() int { return s.corpus.len() }

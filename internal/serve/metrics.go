@@ -177,6 +177,16 @@ type metrics struct {
 	sourceTimeouts     *labelCounter // source
 	quorumFailures     counter
 	modelReloadFails   counter
+	// Shadow deployment: fresh observations double-assessed by the
+	// candidate model, fused-verdict flips, per-source class
+	// disagreements, and the promotion/demotion lifecycle. Cumulative
+	// across candidates — the per-candidate gate counters live on the
+	// shadowState itself.
+	shadowAssessments   counter
+	shadowFlips         counter
+	shadowDisagreements *labelCounter // source
+	shadowPromotions    counter
+	shadowDemotions     counter
 	// Per-stage latency of the on-demand pipeline: crawl → preprocess
 	// (summarize, stop-word removal, link extraction) → per-source
 	// assessment (sourceSecs). requestSecs covers the whole request.
@@ -187,20 +197,21 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:           &labelCounter{},
-		domains:            &labelCounter{},
-		verdicts:           &labelCounter{},
-		sourceSecs:         newHistogramVec(durationBuckets),
-		sourceContribs:     &labelCounter{},
-		sourceErrors:       &labelCounter{},
-		breakerTransitions: &labelCounter{},
-		breakerRejects:     &labelCounter{},
-		sourceSheds:        &labelCounter{},
-		sourceTimeouts:     &labelCounter{},
-		refreshSecs:        newHistogram(durationBuckets),
-		crawlSecs:          newHistogram(durationBuckets),
-		preprocessSecs:     newHistogram(durationBuckets),
-		requestSecs:        newHistogram(durationBuckets),
+		requests:            &labelCounter{},
+		domains:             &labelCounter{},
+		verdicts:            &labelCounter{},
+		sourceSecs:          newHistogramVec(durationBuckets),
+		sourceContribs:      &labelCounter{},
+		sourceErrors:        &labelCounter{},
+		breakerTransitions:  &labelCounter{},
+		shadowDisagreements: &labelCounter{},
+		breakerRejects:      &labelCounter{},
+		sourceSheds:         &labelCounter{},
+		sourceTimeouts:      &labelCounter{},
+		refreshSecs:         newHistogram(durationBuckets),
+		crawlSecs:           newHistogram(durationBuckets),
+		preprocessSecs:      newHistogram(durationBuckets),
+		requestSecs:         newHistogram(durationBuckets),
 	}
 }
 

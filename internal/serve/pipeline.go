@@ -98,7 +98,7 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 		}
 	}
 	v, shared, err := s.flight.do(ctx, key, func(ctx context.Context) (DomainVerdict, error) {
-		v, err := s.assess(ctx, slot, domain)
+		v, _, err := s.assessObs(ctx, slot, domain)
 		if err == nil && !v.Partial {
 			// Cache successful, complete verdicts only — a transient
 			// crawl failure must not stick for a whole TTL, and a
@@ -137,13 +137,55 @@ func (s *Server) verifyDomain(ctx context.Context, slot *modelSlot, domain strin
 	return v
 }
 
-// assess runs the on-demand pipeline for one domain: crawl (bounded by
-// the flight's detached context and the server's crawl budget), preprocess
-// (summarize + stop-word removal, exactly the training-time pipeline),
-// then fuse the ordered evidence backends over the observation. The
-// verdict is self-contained — it owns a clone of its crawl telemetry —
-// so it can be cached and returned to many requests safely.
-func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (DomainVerdict, error) {
+// Observation is the crawled, preprocessed evidence behind one fresh
+// verdict: the same dataset.Pharmacy the evidence sources voted on,
+// plus the verdict it produced. The re-verification pipeline consumes
+// it — the drift monitor folds the terms and outbound endpoints into
+// its streaming frequency counters.
+type Observation struct {
+	Domain   string
+	Terms    []string
+	Outbound []string
+	Pages    int
+	Verdict  DomainVerdict
+}
+
+// Reverify runs the full serving pipeline — crawl, preprocess, evidence
+// fusion, shadow double-assessment — for one corpus domain on behalf of
+// the background re-verification scheduler, and refreshes the verdict
+// cache so live traffic benefits from the sweep. It deliberately does
+// NOT pass through admission control: background sweeps must never
+// occupy the worker slots live /v1/verify traffic is admitted on (the
+// crawl-rate budget lives in the scheduler instead). The live model at
+// call time judges the domain, exactly as a live request would be.
+func (s *Server) Reverify(ctx context.Context, domain string) (Observation, error) {
+	domain = normalizeDomain(domain)
+	if domain == "" {
+		return Observation{}, errors.New("serve: empty domain")
+	}
+	slot := s.model.Load()
+	v, p, err := s.assessObs(ctx, slot, domain)
+	if err != nil {
+		return Observation{}, err
+	}
+	if !v.Partial {
+		s.cache.put(verdictKey(slot.fingerprint, domain), v)
+	}
+	return Observation{Domain: domain, Terms: p.Terms, Outbound: p.Outbound, Pages: p.Pages, Verdict: v}, nil
+}
+
+// assessObs runs the on-demand pipeline for one domain: crawl (bounded
+// by the flight's detached context and the server's crawl budget),
+// preprocess (summarize + stop-word removal, exactly the training-time
+// pipeline), then fuse the ordered evidence backends over the
+// observation. On success it also feeds the cross-cutting consumers of
+// a fresh observation: the shadow candidate double-assesses it and the
+// domain joins the re-verification corpus. The verdict is
+// self-contained — it owns a clone of its crawl telemetry — so it can
+// be cached and returned to many requests safely. The observation
+// (second return) shares the crawl's term/endpoint slices; callers must
+// treat it as read-only.
+func (s *Server) assessObs(ctx context.Context, slot *modelSlot, domain string) (DomainVerdict, dataset.Pharmacy, error) {
 	start := time.Now()
 	r := crawler.CrawlCtx(ctx, s.fetch, domain, s.cfg.Crawl)
 	s.met.crawlSecs.observe(time.Since(start).Seconds())
@@ -160,11 +202,11 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 	if len(r.Pages) == 0 {
 		if partial {
 			if cause := ctx.Err(); cause != nil {
-				return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted: %w", domain, cause)
+				return DomainVerdict{}, dataset.Pharmacy{}, fmt.Errorf("crawl of %s interrupted: %w", domain, cause)
 			}
-			return DomainVerdict{}, fmt.Errorf("crawl of %s interrupted before any page was collected", domain)
+			return DomainVerdict{}, dataset.Pharmacy{}, fmt.Errorf("crawl of %s interrupted before any page was collected", domain)
 		}
-		return DomainVerdict{}, fmt.Errorf("no pages crawled for %s (%d attempts, %d failed)",
+		return DomainVerdict{}, dataset.Pharmacy{}, fmt.Errorf("no pages crawled for %s (%d attempts, %d failed)",
 			domain, r.Stats.Attempts, r.Stats.Failures)
 	}
 	if partial {
@@ -183,12 +225,21 @@ func (s *Server) assess(ctx context.Context, slot *modelSlot, domain string) (Do
 
 	v, err := s.fuse(ctx, slot, p)
 	if err != nil {
-		return DomainVerdict{}, err
+		return DomainVerdict{}, dataset.Pharmacy{}, err
 	}
 	v.Partial = partial
 	v.Pages = len(r.Pages)
 	v.Crawl = r.Stats.Clone()
-	return v, nil
+
+	// A fresh verdict feeds the continuous-verification loop: the shadow
+	// candidate silently re-judges the same observation (live traffic and
+	// background sweeps both exercise the promotion gate), and the domain
+	// becomes part of the corpus future sweeps revisit.
+	if st := s.shadow.Load(); st != nil {
+		s.shadowAssess(st, p, &v)
+	}
+	s.corpus.add(domain)
+	return v, p, nil
 }
 
 // fuse runs the ordered evidence backends (text, network, registry)

@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -156,6 +157,11 @@ type Config struct {
 	// (0 = derived from the wall clock at startup).
 	JitterSeed int64
 
+	// CorpusMaxDomains bounds the known-domain corpus the continuous
+	// re-verification scheduler sweeps (default 100 000). Once full, new
+	// domains are not recorded; existing members keep being re-verified.
+	CorpusMaxDomains int
+
 	// now is the clock, injectable for cache-TTL and breaker tests.
 	now func() time.Time
 }
@@ -243,6 +249,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStale < 0 {
 		c.MaxStale = 0
 	}
+	if c.CorpusMaxDomains <= 0 {
+		c.CorpusMaxDomains = 100_000
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -267,14 +276,22 @@ type Server struct {
 	fetch   crawler.Fetcher
 	pre     *textproc.Preprocessor
 	model   atomic.Pointer[modelSlot]
+	shadow  atomic.Pointer[shadowState]
 	cache   *verdictCache
 	flight  *flightGroup
 	adm     *admission
 	met     *metrics
 	agg     *crawler.Aggregator
 	graph   *linkGraph
+	corpus  *corpusStore
 	sources []*guardedSource
 	start   time.Time
+
+	// extraMetrics are render hooks registered by companion subsystems
+	// (the re-verification pipeline) so their gauges appear on this
+	// server's /metrics endpoint.
+	extraMu      sync.Mutex
+	extraMetrics []func(io.Writer)
 
 	stopc     chan struct{}
 	closeOnce sync.Once
@@ -302,6 +319,7 @@ func New(model *core.Verifier, cfg Config) (*Server, error) {
 		met:    met,
 		agg:    &crawler.Aggregator{},
 		graph:  graph,
+		corpus: newCorpusStore(cfg.CorpusMaxDomains),
 		// The ordered evidence backends of a fused verdict, each behind
 		// its own breaker + bulkhead + deadline guard. Order is
 		// presentation only — every contributing source carries equal
@@ -370,6 +388,24 @@ func (s *Server) SwapModel(v *core.Verifier) {
 
 // ModelFingerprint reports the identity of the currently served model.
 func (s *Server) ModelFingerprint() string { return s.model.Load().fingerprint }
+
+// TrainingSketch returns the live model's training-corpus distribution
+// snapshot (nil for models persisted before sketches existed) — the
+// baseline the drift monitor compares fresh crawls against.
+func (s *Server) TrainingSketch() *core.Sketch { return s.model.Load().v.TrainingSketch() }
+
+// RegisterMetrics adds a render hook to /metrics. Companion subsystems
+// (the continuous re-verification pipeline) register their own gauges
+// and counters here so operators scrape one endpoint. Hooks run at the
+// end of every /metrics render, in registration order.
+func (s *Server) RegisterMetrics(fn func(io.Writer)) {
+	if fn == nil {
+		return
+	}
+	s.extraMu.Lock()
+	s.extraMetrics = append(s.extraMetrics, fn)
+	s.extraMu.Unlock()
+}
 
 // RecordReloadFailure counts one failed model hot-reload attempt (the
 // daemon keeps serving the old model; the failure was previously only
@@ -584,14 +620,7 @@ func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
 	seen := make(map[string]bool, len(domains))
 	out := domains[:0]
 	for _, d := range domains {
-		d = strings.ToLower(strings.TrimSpace(d))
-		d = strings.TrimPrefix(d, "http://")
-		d = strings.TrimPrefix(d, "https://")
-		d = strings.TrimPrefix(d, "www.")
-		if i := strings.IndexByte(d, '/'); i >= 0 {
-			d = d[:i]
-		}
-		d = stripPort(d)
+		d = normalizeDomain(d)
 		if d == "" {
 			return nil, errors.New("empty domain in request")
 		}
@@ -601,6 +630,21 @@ func (s *Server) requestDomains(req VerifyRequest) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// normalizeDomain canonicalizes one domain name the way the verify
+// endpoint does — lowercase, scheme/www./path stripped, port removed —
+// so cache keys, corpus membership and re-verification sweeps all agree
+// on a domain's identity.
+func normalizeDomain(d string) string {
+	d = strings.ToLower(strings.TrimSpace(d))
+	d = strings.TrimPrefix(d, "http://")
+	d = strings.TrimPrefix(d, "https://")
+	d = strings.TrimPrefix(d, "www.")
+	if i := strings.IndexByte(d, '/'); i >= 0 {
+		d = d[:i]
+	}
+	return stripPort(d)
 }
 
 // stripPort removes a trailing :port from a normalized host so
@@ -757,6 +801,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeMetric(w, "pharmaverify_cache_hit_ratio", "Verdict cache hit ratio since start.", "gauge", formatFloat(ratio))
 
+	// Shadow deployment: candidate-model double-assessment and the
+	// promotion lifecycle (cumulative across candidates), plus the
+	// known-domain corpus the re-verification scheduler sweeps.
+	shadowActive := 0
+	if s.ShadowActive() {
+		shadowActive = 1
+	}
+	writeMetric(w, "pharmaverify_shadow_active", "Whether a shadow candidate model is loaded (0/1).", "gauge", fmt.Sprint(shadowActive))
+	writeMetric(w, "pharmaverify_shadow_assessments_total", "Fresh verdicts double-assessed by a shadow candidate.", "counter", fmt.Sprint(s.met.shadowAssessments.value()))
+	writeMetric(w, "pharmaverify_shadow_flips_total", "Shadow assessments whose fused verdict flipped the live class.", "counter", fmt.Sprint(s.met.shadowFlips.value()))
+	writeLabelCounter(w, "pharmaverify_shadow_disagreements_total",
+		"Per-source class disagreements between the shadow and live models.", "source", s.met.shadowDisagreements)
+	writeMetric(w, "pharmaverify_shadow_promotions_total", "Shadow candidates promoted to the live model.", "counter", fmt.Sprint(s.met.shadowPromotions.value()))
+	writeMetric(w, "pharmaverify_shadow_demotions_total", "Shadow candidates dropped without promotion.", "counter", fmt.Sprint(s.met.shadowDemotions.value()))
+	writeMetric(w, "pharmaverify_corpus_domains", "Domains in the known-domain re-verification corpus.", "gauge", fmt.Sprint(s.corpus.len()))
+
 	writeMetric(w, "pharmaverify_queue_depth", "Requests waiting for a worker slot.", "gauge", fmt.Sprint(s.adm.queued()))
 	writeMetric(w, "pharmaverify_inflight_requests", "Requests holding a worker slot.", "gauge", fmt.Sprint(s.adm.inService()))
 	writeMetric(w, "pharmaverify_queue_rejections_total", "Requests shed because the admission queue was full.", "counter", fmt.Sprint(s.met.queueReject.value()))
@@ -778,4 +838,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeHistogramVec(w, "pharmaverify_source_duration_seconds", "Wall time of one evidence-source assessment.", "source", s.met.sourceSecs)
 	writeHistogram(w, "pharmaverify_linkgraph_refresh_duration_seconds", "Wall time of one TrustRank score recompute.", s.met.refreshSecs)
 	writeHistogram(w, "pharmaverify_request_duration_seconds", "Wall time of one verify request.", s.met.requestSecs)
+
+	s.extraMu.Lock()
+	hooks := make([]func(io.Writer), len(s.extraMetrics))
+	copy(hooks, s.extraMetrics)
+	s.extraMu.Unlock()
+	for _, fn := range hooks {
+		fn(w)
+	}
 }

@@ -844,7 +844,7 @@ func TestInterruptedCrawlWithNoPagesErrors(t *testing.T) {
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() {
-		_, err := s.assess(ctx, s.model.Load(), domain)
+		_, _, err := s.assessObs(ctx, s.model.Load(), domain)
 		errc <- err
 	}()
 	select {

@@ -17,8 +17,13 @@ type mixture struct {
 // illegitimate sites shift toward legitimate vocabulary to evade
 // text-based detection, degrading the legitimate precision of stale
 // models as observed in Table 17).
+// legitMixture is the regular legitimate word-pool mixture; VocabShift
+// interpolates drifted illegitimate sites toward it.
+var legitMixture = mixture{common: 0.57, legit: 0.28, illegit: 0.05, drugs: 0.10}
+
 func (w *World) textMixture(s *Site) mixture {
 	drift := w.cfg.Snapshot >= 2
+	roleID := templateID(s)
 	var m mixture
 	switch {
 	case s.Legitimate && s.Isolated:
@@ -26,7 +31,7 @@ func (w *World) textMixture(s *Site) mixture {
 		// product-heavy.
 		m = mixture{common: 0.52, legit: 0.27, illegit: 0.06, drugs: 0.15}
 	case s.Legitimate:
-		m = mixture{common: 0.57, legit: 0.28, illegit: 0.05, drugs: 0.10}
+		m = legitMixture
 	case s.Evader:
 		// Imitators blend in: mostly legitimate-looking vocabulary.
 		m = mixture{common: 0.50, legit: 0.22, illegit: 0.16, drugs: 0.12}
@@ -37,7 +42,7 @@ func (w *World) textMixture(s *Site) mixture {
 		// aggressively. Stale models lose legitimate precision on these
 		// (Table 17) while the classes remain separable enough that AUC
 		// holds (Table 16).
-		if roleDraw(w.cfg.Seed, s.Domain, "cleaned") < 0.18 {
+		if roleDraw(w.cfg.Seed, roleID, "cleaned") < 0.18 {
 			m = mixture{common: 0.50, legit: 0.22, illegit: 0.14, drugs: 0.14}
 		} else {
 			m = mixture{common: 0.44, legit: 0.13, illegit: 0.31, drugs: 0.12}
@@ -45,12 +50,21 @@ func (w *World) textMixture(s *Site) mixture {
 	default:
 		m = mixture{common: 0.43, legit: 0.09, illegit: 0.36, drugs: 0.12}
 	}
+	if !s.Legitimate && drift && w.cfg.VocabShift > 0 {
+		// Epoch-scale restyling: pull the mixture toward legitimate
+		// storefront language by the configured fraction.
+		f := w.cfg.VocabShift
+		m.common += f * (legitMixture.common - m.common)
+		m.legit += f * (legitMixture.legit - m.legit)
+		m.illegit += f * (legitMixture.illegit - m.illegit)
+		m.drugs += f * (legitMixture.drugs - m.drugs)
+	}
 	// Per-site signal jitter: real storefronts vary in how loudly they
 	// carry their class vocabulary. A stable per-site factor scales the
 	// class-signal pools (legitimate sites legitimately discuss ED
 	// medication; some spam shops barely use spam language), keeping
 	// the learned boundaries imperfect as in the paper's numbers.
-	jitter := 0.5 + roleDraw(w.cfg.Seed, s.Domain, "signal")
+	jitter := 0.5 + roleDraw(w.cfg.Seed, roleID, "signal")
 	if s.Legitimate {
 		m.legit *= jitter
 		m.common += (1 - jitter) * 0.2
@@ -129,10 +143,20 @@ func (w *World) externalLinks(s *Site, rng *rand.Rand) []string {
 	return links
 }
 
+// templateID is the identity a site's template randomness keys on:
+// burst-cohort members share the cohort's identity (one campaign, one
+// template), everyone else keys on their own domain.
+func templateID(s *Site) string {
+	if s.Burst {
+		return fmt.Sprintf("burst-cohort|%d", s.BurstCohort)
+	}
+	return s.Domain
+}
+
 // renderSite generates all pages of a site.
 func (w *World) renderSite(s *Site) {
 	cfg := w.cfg
-	rng := siteRNG(cfg.Seed, cfg.Snapshot, s.Domain, "site")
+	rng := siteRNG(cfg.Seed, cfg.Snapshot, templateID(s), "site")
 	m := w.textMixture(s)
 
 	nPages := cfg.MinPages + rng.Intn(cfg.MaxPages-cfg.MinPages+1)

@@ -47,6 +47,27 @@ type Config struct {
 	// avoid affiliate networks and imitate legitimate sites (the
 	// paper's illegitimate ranking outliers; default 0.02).
 	EvaderFraction float64
+
+	// VocabShift pulls the illegitimate text mixture toward the
+	// legitimate one for Snapshot >= 2 worlds (0 disables, 1 makes the
+	// mixtures coincide). It models epoch-scale vocabulary restyling
+	// beyond the built-in Snapshot-2 drift, giving drift monitors a
+	// continuously tunable knob.
+	VocabShift float64
+	// LinkChurn is the per-link probability (Snapshot >= 2 only) that
+	// a site's pre-assigned well-known endpoint is replaced by a fresh
+	// relay domain that did not exist at train time, churning the
+	// outbound-link distribution (0 disables).
+	LinkChurn float64
+	// BurstFraction is the share of networked illegitimate sites that
+	// belong to burst-registered cohorts: groups registered together in
+	// one campaign that share a page template, one endpoint set and one
+	// hub (0 disables). Membership is drawn per snapshot, so cohorts
+	// model registrations within a crawl epoch.
+	BurstFraction float64
+	// BurstCohortSize is how many sites share one burst cohort
+	// (default 8).
+	BurstCohortSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.EvaderFraction == 0 {
 		c.EvaderFraction = 0.02
 	}
+	if c.BurstCohortSize == 0 {
+		c.BurstCohortSize = 8
+	}
 	return c
 }
 
@@ -110,6 +134,11 @@ type Site struct {
 	// Evader marks illegitimate sites that imitate legitimate ones in
 	// both text and links.
 	Evader bool
+	// Burst marks members of a burst-registered cohort (see
+	// Config.BurstFraction); BurstCohort numbers the cohort and is
+	// meaningful only when Burst is set.
+	Burst       bool
+	BurstCohort int
 	// Pages maps URL paths to HTML documents; Paths preserves a
 	// deterministic order with "/" first.
 	Pages map[string]string
@@ -159,11 +188,28 @@ func Generate(cfg Config) *World {
 			if s.Hub {
 				hubs = append(hubs, p.domain)
 			}
+			if cfg.BurstFraction > 0 && !s.Evader && !s.Hub {
+				// Burst membership keys on the snapshot: cohorts are
+				// campaign registrations within one crawl epoch.
+				s.Burst = roleDraw(cfg.Seed, p.domain, fmt.Sprintf("burst|%d", cfg.Snapshot)) < cfg.BurstFraction
+			}
 		}
 		w.sites[p.domain] = s
 		w.domains = append(w.domains, p.domain)
 	}
 	sort.Strings(w.domains)
+
+	// Group burst sites (in sorted-domain order, so cohorts are
+	// deterministic) into cohorts led by their first member.
+	var burst []*Site
+	for _, d := range w.domains {
+		if s := w.sites[d]; s.Burst {
+			burst = append(burst, s)
+		}
+	}
+	for i, s := range burst {
+		s.BurstCohort = i / cfg.BurstCohortSize
+	}
 
 	// Second pass: attach networked members to hubs, assign the
 	// well-known external endpoints with exact per-endpoint counts
@@ -175,11 +221,63 @@ func Generate(cfg Config) *World {
 			s.HubDomain = hubs[(p.index/cfg.NetworkSize)%len(hubs)]
 		}
 	}
+	// Burst cohorts register through one campaign: every member links
+	// the leader's hub.
+	for i, s := range burst {
+		s.HubDomain = burst[(i/cfg.BurstCohortSize)*cfg.BurstCohortSize].HubDomain
+	}
 	w.assignExternals()
+	if cfg.LinkChurn > 0 && cfg.Snapshot >= 2 {
+		w.churnExternals()
+	}
+	// Members share the leader's endpoint set exactly (one template,
+	// one link farm).
+	for i, s := range burst {
+		leader := burst[(i/cfg.BurstCohortSize)*cfg.BurstCohortSize]
+		s.externals = append([]string(nil), leader.externals...)
+	}
 	for _, p := range plans {
 		w.renderSite(w.sites[p.domain])
 	}
 	return w
+}
+
+// churnExternals models link-farm churn between crawl epochs: each
+// pre-assigned endpoint link is replaced, with probability
+// cfg.LinkChurn, by a relay domain that did not exist at train time.
+// The replacement stream is a pure function of (seed, snapshot,
+// domain), so churned worlds regenerate byte-identically.
+func (w *World) churnExternals() {
+	for _, d := range w.domains {
+		s := w.sites[d]
+		if len(s.externals) == 0 {
+			continue
+		}
+		rng := siteRNG(w.cfg.Seed, w.cfg.Snapshot, d, "churn")
+		for i := range s.externals {
+			if rng.Float64() < w.cfg.LinkChurn {
+				s.externals[i] = fmt.Sprintf("http://www.relay%d-gateway.example/", rng.Intn(12))
+			}
+		}
+	}
+}
+
+// DriftedPair generates a Dataset-1 → Dataset-2-shaped pair of worlds
+// from one configuration: before is cfg pinned to Snapshot 1 with all
+// drift knobs off (the training epoch), after re-crawls the same
+// legitimate domains at Snapshot 2 with a disjoint illegitimate
+// population and cfg's VocabShift / LinkChurn / BurstFraction applied.
+// Both worlds are pure functions of cfg, so tests get a reproducible
+// train-then-drift scenario from one seed.
+func DriftedPair(cfg Config) (before, after *World) {
+	base := cfg.withDefaults()
+	b := base
+	b.Snapshot = 1
+	b.VocabShift, b.LinkChurn, b.BurstFraction = 0, 0, 0
+	a := base
+	a.Snapshot = 2
+	a.IllegitOffset = base.IllegitOffset + base.NumIllegit
+	return Generate(b), Generate(a)
 }
 
 // assignExternals distributes the weighted well-known endpoints over the
