@@ -100,12 +100,12 @@ func main() {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fatal(fmt.Errorf("parse baseline %s: %w", *kernelCheck, err))
 		}
-		cur := bench.RunKernelBenchmarks(0)
+		cur := append(bench.RunKernelBenchmarks(0), bench.RunTrainingBenchmarks(0)...)
 		for _, k := range cur {
 			fmt.Printf("%-20s %10.0f ns/op naive %10.0f ns/op kernel (%5.2fx) %7.1f allocs/op naive %5.1f kernel identical=%v\n",
 				k.ID, k.NaiveNSOp, k.KernelNSOp, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)
 		}
-		if err := bench.CheckKernelRegression(cur, base.Kernels, *kernelTol); err != nil {
+		if err := bench.CheckKernelRegression(cur, append(base.Kernels, base.Training...), *kernelTol); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("kernel regression check passed against %s (tolerance %.2f)\n", *kernelCheck, *kernelTol)
@@ -234,6 +234,10 @@ func main() {
 		}
 		for _, k := range rep.Kernels {
 			fmt.Printf("kernel %-18s %.2fx faster, %.1f -> %.1f allocs/op, identical=%v\n",
+				k.ID, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)
+		}
+		for _, k := range rep.Training {
+			fmt.Printf("train  %-18s %.2fx faster, %.1f -> %.1f allocs/op, identical=%v\n",
 				k.ID, k.Speedup, k.NaiveAllocsOp, k.KernelAllocsOp, k.Identical)
 		}
 		return

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pharmaverify/internal/core"
+	"pharmaverify/internal/featcache"
 	"pharmaverify/internal/parallel"
 )
 
@@ -36,6 +37,16 @@ type BenchLeg struct {
 	// Identical is true when this leg's rendered table bytes equal the
 	// 1-worker leg's exactly.
 	Identical bool `json:"identical"`
+	// Grain records the partitioning the grain autotuner chose at each
+	// named call site during this leg (e.g. "ensemble-cv": "hybrid
+	// fold×3·doc×2·g16"), so the efficiency gate's failures can be
+	// traced to a bad fold-vs-document split.
+	Grain map[string]string `json:"grain,omitempty"`
+	// Cache holds the shared feature cache's per-scope hit/miss
+	// counters accumulated over this leg (the cache is purged before
+	// each leg), so training-plane reuse is visible next to the timing
+	// it explains.
+	Cache map[string]featcache.CacheStats `json:"cache,omitempty"`
 }
 
 // heavyThresholdNS classifies entries for the parallel-efficiency gate:
@@ -84,13 +95,22 @@ type BenchReport struct {
 	// WorkerMatrix lists the worker counts each entry was measured at,
 	// ascending; it always starts with 1 and ends with Workers.
 	WorkerMatrix []int        `json:"worker_matrix"`
-	NumCPU       int          `json:"num_cpu"`
-	GoMaxProcs   int          `json:"gomaxprocs"`
-	GoVersion    string       `json:"go_version"`
-	Entries      []BenchEntry `json:"entries"`
+	// NumCPU and GoMaxProcs record the host core topology the run saw
+	// (runtime.NumCPU vs the effective GOMAXPROCS); MultiCore derives
+	// from them so a single-core artifact is self-describing — its
+	// efficiency legs measure goroutine switching, not scaling, and
+	// the efficiency gate skips it.
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	MultiCore  bool         `json:"multi_core"`
+	GoVersion  string       `json:"go_version"`
+	Entries    []BenchEntry `json:"entries"`
 	// Kernels are the single-pass feature-kernel micro-benchmarks
 	// (naive reference vs optimized path); see kernel.go.
 	Kernels []KernelEntry `json:"kernels"`
+	// Training are the training-path kernel micro-benchmarks
+	// (ensemble selection, webgen generation); see training.go.
+	Training []KernelEntry `json:"training"`
 	// Totals across all measured entries.
 	TotalSequentialNS int64   `json:"total_sequential_ns"`
 	TotalParallelNS   int64   `json:"total_parallel_ns"`
@@ -107,12 +127,13 @@ var nowNS = monotonicNS
 // benchLeg runs one runner once with the given process-wide default
 // worker count on a fresh result cache, returning the rendered table
 // bytes, wall time, and allocation deltas.
-func benchLeg(base *Env, r Runner, workers int) (out []byte, ns int64, mallocs, bytesAlloc uint64, err error) {
+func benchLeg(base *Env, r Runner, workers int) (out []byte, leg BenchLeg, err error) {
 	// Fresh caches so the leg measures real work, not memo hits; the
 	// shared feature cache is cleared too since both legs would
 	// otherwise reuse each other's featurizations.
 	e := base.Fresh()
 	core.ResetFeatureCache()
+	parallel.ResetGrainDecisions()
 
 	prev := parallel.Default()
 	parallel.SetDefault(workers)
@@ -122,16 +143,24 @@ func benchLeg(base *Env, r Runner, workers int) (out []byte, ns int64, mallocs, 
 	runtime.ReadMemStats(&before)
 	start := nowNS()
 	tab, err := r.Run(e)
-	ns = nowNS() - start
+	ns := nowNS() - start
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("%s: %w", r.ID, err)
+		return nil, BenchLeg{}, fmt.Errorf("%s: %w", r.ID, err)
 	}
 	var buf bytes.Buffer
 	if _, err := tab.WriteTo(&buf); err != nil {
-		return nil, 0, 0, 0, err
+		return nil, BenchLeg{}, err
 	}
-	return buf.Bytes(), ns, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+	leg = BenchLeg{
+		Workers: workers,
+		NS:      ns,
+		Allocs:  after.Mallocs - before.Mallocs,
+		Bytes:   after.TotalAlloc - before.TotalAlloc,
+		Grain:   parallel.GrainDecisions(),
+		Cache:   core.FeatureCacheScopeStats(),
+	}
+	return buf.Bytes(), leg, nil
 }
 
 // workerMatrix builds the ascending, deduplicated list of worker
@@ -183,6 +212,7 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 		WorkerMatrix: matrix,
 		NumCPU:       runtime.NumCPU(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		MultiCore:    runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) > 1,
 		GoVersion:    runtime.Version(),
 		AllIdentical: true,
 	}
@@ -190,17 +220,16 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 		entry := BenchEntry{ID: r.ID, Desc: r.Desc, Identical: true}
 		var baseOut []byte
 		for _, w := range matrix {
-			out, ns, allocs, bytesAlloc, err := benchLeg(e, r, w)
+			out, leg, err := benchLeg(e, r, w)
 			if err != nil {
 				return nil, err
 			}
-			leg := BenchLeg{Workers: w, NS: ns, Allocs: allocs, Bytes: bytesAlloc}
 			if w == 1 {
 				baseOut = out
 				leg.Speedup, leg.Efficiency, leg.Identical = 1, 1, true
 			} else {
-				if ns > 0 {
-					leg.Speedup = float64(entry.Legs[0].NS) / float64(ns)
+				if leg.NS > 0 {
+					leg.Speedup = float64(entry.Legs[0].NS) / float64(leg.NS)
 					leg.Efficiency = leg.Speedup / float64(w)
 				}
 				leg.Identical = bytes.Equal(baseOut, out)
@@ -226,7 +255,8 @@ func RunBenchmark(e *Env, ids []string, workers int) (*BenchReport, error) {
 		rep.TotalSpeedup = float64(rep.TotalSequentialNS) / float64(rep.TotalParallelNS)
 	}
 	rep.Kernels = RunKernelBenchmarks(DefaultKernelBenchtime)
-	for _, k := range rep.Kernels {
+	rep.Training = RunTrainingBenchmarks(DefaultKernelBenchtime)
+	for _, k := range append(append([]KernelEntry(nil), rep.Kernels...), rep.Training...) {
 		if !k.Identical {
 			rep.AllIdentical = false
 		}

@@ -321,6 +321,13 @@ var kernelFloors = map[string]struct{ speedup, allocRatio float64 }{
 	"ngg-compare-both":   {speedup: 2.0, allocRatio: 2.0},
 	"ngg-compare-graphs": {speedup: 1.5},
 	"tfidf-sparse":       {speedup: 1.0, allocRatio: 2.0},
+	// Training-path kernels (training.go). Ensemble selection drops the
+	// per-comparison metric calls and per-bag slices, so both ratios
+	// carry the optimization's 2x acceptance bar; the webgen kernel's
+	// headline win is allocations (fmt/Builder intermediates gone) with
+	// a more modest single-thread time win.
+	"ensemble-selection": {speedup: 2.0, allocRatio: 2.0},
+	"webgen-world":       {speedup: 1.2, allocRatio: 2.0},
 }
 
 // CheckKernelRegression compares a fresh kernel run against the

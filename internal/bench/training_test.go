@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pharmaverify/internal/webgen"
+)
+
+// TestTrainingBenchmarksIdentity runs the training-path kernels at a
+// short benchtime and checks the gate's invariants: both entries
+// present, bit-identical to their naive references, non-degenerate
+// measurements.
+func TestTrainingBenchmarksIdentity(t *testing.T) {
+	entries := RunTrainingBenchmarks(5 * time.Millisecond)
+	want := map[string]bool{"ensemble-selection": true, "webgen-world": true}
+	for _, e := range entries {
+		if !want[e.ID] {
+			t.Errorf("unexpected training entry %q", e.ID)
+		}
+		delete(want, e.ID)
+		if !e.Identical {
+			t.Errorf("training kernel %s: output differs from the naive reference", e.ID)
+		}
+		if e.NaiveNSOp <= 0 || e.KernelNSOp <= 0 {
+			t.Errorf("training kernel %s: degenerate timing naive=%v kernel=%v", e.ID, e.NaiveNSOp, e.KernelNSOp)
+		}
+		if _, ok := kernelFloors[e.ID]; !ok {
+			t.Errorf("training kernel %s has no hard floor in kernelFloors", e.ID)
+		}
+	}
+	for id := range want {
+		t.Errorf("training entry %q missing", id)
+	}
+}
+
+// TestTrainingMeetsFloors asserts the tentpole's acceptance bars on
+// this machine: ensemble selection at least 2x faster and 2x lighter
+// in allocations than the retained reference, webgen generation past
+// its own floors, both byte-identical.
+func TestTrainingMeetsFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	entries := RunTrainingBenchmarks(50 * time.Millisecond)
+	if err := CheckKernelRegression(entries, entries, 1.5); err != nil {
+		t.Fatalf("fresh training run fails its own regression check: %v", err)
+	}
+	for _, e := range entries {
+		if e.ID == "ensemble-selection" {
+			if e.Speedup < 2 || e.AllocRatio < 2 {
+				t.Errorf("ensemble-selection %0.2fx time / %0.2fx allocs, want >= 2x on both", e.Speedup, e.AllocRatio)
+			}
+		}
+	}
+}
+
+// TestCheckKernelRegressionCoversTraining pins that the shared gate
+// judges training entries by their hard floors like any kernel entry.
+func TestCheckKernelRegressionCoversTraining(t *testing.T) {
+	weak := KernelEntry{ID: "ensemble-selection", Speedup: 1.4, AllocRatio: 5, KernelAllocsOp: 3, Identical: true}
+	base := []KernelEntry{{ID: "ensemble-selection", Speedup: 1.4, AllocRatio: 5, KernelAllocsOp: 3, Identical: true}}
+	if err := CheckKernelRegression([]KernelEntry{weak}, base, 1.5); err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Errorf("ensemble-selection below the 2x floor should fail, got %v", err)
+	}
+}
+
+// TestWorldsIdenticalDetectsDivergence exercises the comparator the
+// webgen-world identity check relies on.
+func TestWorldsIdenticalDetectsDivergence(t *testing.T) {
+	a := webgen.Generate(trainingWebgenConfig)
+	b := webgen.Generate(trainingWebgenConfig)
+	if !worldsIdentical(a, b) {
+		t.Fatal("identical configurations generated different worlds")
+	}
+	d := b.Domains()[0]
+	b.Site(d).Pages[b.Site(d).Paths[0]] += "x"
+	if worldsIdentical(a, b) {
+		t.Fatal("mutated page not detected")
+	}
+}

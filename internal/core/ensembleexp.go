@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/eval"
+	"pharmaverify/internal/featcache"
 	"pharmaverify/internal/ml"
 	"pharmaverify/internal/ml/ensemble"
 	"pharmaverify/internal/parallel"
@@ -76,13 +78,21 @@ func EnsembleCVCtx(ctx context.Context, snap *dataset.Snapshot, cfg EnsembleConf
 	// over the corpus, like the Weka ARFF inputs of the paper).
 	countsDS := TFIDFDataset(snap, TextConfig{Classifier: NBM, Terms: cfg.Terms, Seed: cfg.Seed})
 	tfidfDS := TFIDFDataset(snap, TextConfig{Classifier: SVM, Terms: cfg.Terms, Seed: cfg.Seed})
-	// The rendered NGG documents are fold-independent; only the class
-	// graphs (built from each fold's build split) differ per fold.
-	docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
+	// NGG features come from the shared training plane: the rendered
+	// documents and their prebuilt graphs are fold-independent; only the
+	// class graphs (merged from each fold's build split) differ per
+	// fold. One acquire spans every fold, so the graphs are built once
+	// for the whole run.
+	plane := trainingPlaneFor(snap, cfg.Terms, cfg.Seed)
+	plane.acquire()
+	defer plane.release()
+	// The grain autotuner splits the worker budget between the fold
+	// fan-out and each fold's document pass.
+	plan := parallel.PlanGrainFor("ensemble-cv", parallel.Workers(cfg.Workers), len(folds), len(plane.Docs))
 
 	// Folds are fully independent here — every random choice derives
 	// from cfg.Seed+fold — so they fan out without a pre-draw phase.
-	frs, err := parallel.MapErrCtx(ctx, len(folds), cfg.Workers, func(f int) (eval.FoldResult, error) {
+	frs, err := parallel.MapErrCtx(ctx, len(folds), plan.FoldWorkers, func(f int) (eval.FoldResult, error) {
 		trainIdx, testIdx := folds.TrainTest(f)
 
 		// Split training into build (2/3) and hillclimb (1/3).
@@ -101,8 +111,16 @@ func EnsembleCVCtx(ctx context.Context, snap *dataset.Snapshot, cfg EnsembleConf
 		}
 		netDS := scoreDataset(netScores, labels, names)
 
-		// NGG features: class graphs from half of the build split.
-		nggDS := NGGFeatureDataset(docs, labels, names, buildIdx[:len(buildIdx)/2])
+		// NGG features: class graphs from half of the build split. The
+		// fold's matrix is deterministic given (snapshot, terms, folds,
+		// seed, fold), so it is memoized like the other feature views —
+		// repeated ensemble runs (re-verification sweeps, the daemon's
+		// retrain loop) reuse it outright.
+		foldKey := fmt.Sprintf("nggfold|%s|%d|%d|%d|%d", snap.ContentHash(), cfg.Terms, cfg.Folds, cfg.Seed, f)
+		v, _ := featureCache.DoScoped(featcache.ScopeTraining, foldKey, func() (any, error) {
+			return plane.featureDataset(buildIdx[:len(buildIdx)/2], plan.DocWorkers, plan.DocGrain), nil
+		})
+		nggDS := v.(*ml.Dataset)
 
 		members := []ensembleMember{
 			{name: "NBM(text)", ds: countsDS},

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pharmaverify/internal/featcache"
+	"pharmaverify/internal/ngram"
+)
+
+// TestPlaneFeatureDatasetMatchesNaive is the bit-identity property of
+// the shared training plane: for randomized class-index halves and
+// worker counts, the plane's feature matrix must equal the standalone
+// NGGFeatureDataset exactly, vector by vector.
+func TestPlaneFeatureDatasetMatchesNaive(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	docs := nggDocuments(snap, 100, 9)
+	labels := snap.Labels()
+	names := snap.Domains()
+
+	plane := trainingPlaneFor(snap, 100, 9)
+	plane.acquire()
+	defer plane.release()
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		perm := rng.Perm(len(docs))
+		classIdx := perm[:len(docs)/2]
+		want := NGGFeatureDataset(docs, labels, names, classIdx)
+		for _, workers := range []int{1, 2, 4} {
+			got := plane.featureDataset(classIdx, workers, 1+trial*7)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers %d: plane dataset differs from NGGFeatureDataset", trial, workers)
+			}
+		}
+	}
+}
+
+// TestPlaneTextRanksMatchNaive pins the ranking path the same way:
+// prebuilt-graph TextRank against the pooled DocTextRank reference.
+func TestPlaneTextRanksMatchNaive(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	docs := nggDocuments(snap, 100, 9)
+	labels := snap.Labels()
+
+	plane := trainingPlaneFor(snap, 100, 9)
+	plane.acquire()
+	defer plane.release()
+
+	rng := rand.New(rand.NewSource(5))
+	perm := rng.Perm(len(docs))
+	half := perm[:len(docs)/2]
+	legit, illegit := nggClassGraphs(docs, labels, half)
+	want := make([]float64, len(docs))
+	for i := range docs {
+		want[i] = ngram.DocTextRank(docs[i], legit, illegit) / 8
+	}
+	for _, workers := range []int{1, 3} {
+		got := plane.textRanks(half, workers, 4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers %d: plane text ranks differ from DocTextRank reference", workers)
+		}
+	}
+}
+
+// TestPlaneGenerationStamps pins the lifetime contract: nested acquires
+// share one build epoch (no silent rebuild mid-run), and a full
+// release/re-acquire cycle starts a new stamped epoch.
+func TestPlaneGenerationStamps(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	plane := trainingPlaneFor(snap, 100, 42)
+
+	g1 := plane.acquire()
+	g2 := plane.acquire()
+	if g1 != g2 {
+		t.Fatalf("nested acquire rebuilt the plane: gen %d then %d", g1, g2)
+	}
+	plane.release()
+	if g3 := plane.acquire(); g3 != g1 {
+		t.Fatalf("graphs dropped while still held: gen %d then %d", g1, g3)
+	}
+	plane.release()
+	plane.release()
+
+	g4 := plane.acquire()
+	defer plane.release()
+	if g4 == g1 {
+		t.Fatal("full release did not end the build epoch")
+	}
+}
+
+// TestPlaneScopedCacheStats checks that training-plane traffic lands on
+// the training scope counters and the TF-IDF artifacts on the serving
+// scope, with both scopes always present in the exported map.
+func TestPlaneScopedCacheStats(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	ResetFeatureCache()
+
+	stats := FeatureCacheScopeStats()
+	for _, scope := range []string{featcache.ScopeTraining, featcache.ScopeServing} {
+		if st, ok := stats[scope]; !ok || st.Hits != 0 || st.Misses != 0 {
+			t.Fatalf("scope %q not zeroed after reset: %+v (present=%v)", scope, st, ok)
+		}
+	}
+
+	trainingPlaneFor(snap, 100, 7)                                       // miss
+	trainingPlaneFor(snap, 100, 7)                                       // hit
+	TFIDFDataset(snap, TextConfig{Classifier: SVM, Terms: 100, Seed: 7}) // 2 misses (corpus + dataset)
+
+	stats = FeatureCacheScopeStats()
+	if st := stats[featcache.ScopeTraining]; st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("training scope = %+v, want 1 hit / 1 miss", st)
+	}
+	if st := stats[featcache.ScopeServing]; st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("serving scope = %+v, want 0 hits / 2 misses", st)
+	}
+}
+
+// TestPlaneFeaturePassAllocs pins the per-document cost of the plane's
+// feature pass: with graphs prebuilt, one document costs exactly the
+// row slice and its vector wrapper — no graph construction allocations.
+func TestPlaneFeaturePassAllocs(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	plane := trainingPlaneFor(snap, 100, 3)
+	plane.acquire()
+	defer plane.release()
+	legit, illegit := plane.classGraphs([]int{0, 1, 2, 3, 4, 5, 6, 7})
+
+	var row []float64
+	allocs := testing.AllocsPerRun(50, func() {
+		row = ngram.Features(plane.graphs[9], legit, illegit)
+	})
+	if row == nil {
+		t.Fatal("no features produced")
+	}
+	// One allocation: the 8-float row itself.
+	if allocs > 1 {
+		t.Errorf("plane feature row costs %.1f allocs, want <= 1", allocs)
+	}
+}

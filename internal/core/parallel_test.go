@@ -90,8 +90,8 @@ func TestFeatureCacheDistinctSnapshots(t *testing.T) {
 	if again := TFIDFDataset(snapA, cfg); again != dsA {
 		t.Error("same snapshot missed the cache")
 	}
-	ngA := nggFoldFeatures(snapA, 100, 3, 3)
-	ngB := nggFoldFeatures(snapB, 100, 3, 3)
+	ngA := nggFoldFeatures(snapA, 100, 3, 3, 0)
+	ngB := nggFoldFeatures(snapB, 100, 3, 3, 0)
 	if ngA == ngB {
 		t.Fatal("distinct snapshots share one cached NGG fold set")
 	}

@@ -9,7 +9,6 @@ import (
 	"pharmaverify/internal/dataset"
 	"pharmaverify/internal/eval"
 	"pharmaverify/internal/ml"
-	"pharmaverify/internal/ngram"
 	"pharmaverify/internal/parallel"
 )
 
@@ -82,6 +81,15 @@ func RankCV(snap *dataset.Snapshot, cfg RankConfig) (RankResult, error) {
 
 	labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
 	folds := eval.StratifiedKFold(labelDS, cfg.Folds, cfg.Seed)
+
+	// Hold the shared training plane across the fold loop so the
+	// per-fold nggTextRanks calls reuse one set of prebuilt document
+	// graphs instead of rebuilding them fold by fold.
+	if cfg.Representation == NGramGraphs {
+		plane := trainingPlaneFor(snap, cfg.Terms, cfg.Seed)
+		plane.acquire()
+		defer plane.release()
+	}
 
 	var result RankResult
 	for f := range folds {
@@ -172,8 +180,9 @@ func (cfg RankConfig) textRanks(snap *dataset.Snapshot, trainIdx []int) ([]float
 // illegitimate class graph, scaled to [0,1] so that textRank and
 // networkRank contribute comparably.
 func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]float64, error) {
-	docs := nggDocuments(snap, cfg.Terms, cfg.Seed)
-	labels := snap.Labels()
+	plane := trainingPlaneFor(snap, cfg.Terms, cfg.Seed)
+	plane.acquire()
+	defer plane.release()
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
 	perm := rng.Perm(len(trainIdx))
@@ -181,17 +190,8 @@ func (cfg RankConfig) nggTextRanks(snap *dataset.Snapshot, trainIdx []int) ([]fl
 	for _, p := range perm[:len(trainIdx)/2] {
 		half = append(half, trainIdx[p])
 	}
-	legitClass, illegitClass := nggClassGraphs(docs, labels, half)
-
-	out := make([]float64, len(docs))
-	// Chunked like NGGFeatureDataset: per-document rank computation is
-	// too fine for one-index-per-dispatch fan-out.
-	parallel.ForGrain(len(docs), 0, nggDocGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = ngram.DocTextRank(docs[i], legitClass, illegitClass) / 8
-		}
-	})
-	return out, nil
+	plan := parallel.PlanGrainFor("rank-text", 0, 1, len(plane.Docs))
+	return plane.textRanks(half, plan.DocWorkers, plan.DocGrain), nil
 }
 
 // Outliers extracts the paper's §6.4 outlier sets from a ranking: the

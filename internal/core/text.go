@@ -75,7 +75,7 @@ func FeatureCacheStats() (hits, misses, evictions uint64) {
 // build is shared by every classifier and both weighting schemes.
 func textCorpus(snap *dataset.Snapshot, terms int, seed int64) *vectorize.Corpus {
 	key := fmt.Sprintf("corpus|%s|%d|%d", snap.ContentHash(), terms, seed)
-	v, _ := featureCache.Do(key, func() (any, error) {
+	v, _ := featureCache.DoScoped(featcache.ScopeServing, key, func() (any, error) {
 		docs := snap.SubsampledTerms(terms, seed)
 		return vectorize.NewCorpus(docs, snap.Labels(), snap.Domains()), nil
 	})
@@ -97,7 +97,7 @@ func TFIDFDataset(snap *dataset.Snapshot, cfg TextConfig) *ml.Dataset {
 		w = vectorize.WeightCounts
 	}
 	key := fmt.Sprintf("tv|%s|%d|%d|%d", snap.ContentHash(), cfg.Terms, cfg.Seed, w)
-	v, _ := featureCache.Do(key, func() (any, error) {
+	v, _ := featureCache.DoScoped(featcache.ScopeServing, key, func() (any, error) {
 		return textCorpus(snap, cfg.Terms, cfg.Seed).Dataset(w), nil
 	})
 	return v.(*ml.Dataset)
@@ -135,7 +135,25 @@ func tfidfCV(snap *dataset.Snapshot, cfg TextConfig) (eval.CVResult, error) {
 	if _, err := NewClassifier(cfg.Classifier, cfg.Seed); err != nil {
 		return eval.CVResult{}, err
 	}
-	return eval.CrossValidateOpts(ds, cfg.Folds, cfg.Seed, trainer, smp, eval.CVOptions{Workers: cfg.Workers})
+	// The fold plane — stratified splits plus the (sampled) per-fold
+	// training sets — depends only on the dataset, fold count, seed and
+	// sampling, not on the classifier, so every classifier evaluated on
+	// the same term-vector view shares one prepared set. Sampler draws
+	// happen once, at plane-build time, keeping the master RNG stream
+	// identical to the sequential protocol.
+	w := vectorize.WeightTFIDF
+	if cfg.Classifier == NBM {
+		w = vectorize.WeightCounts
+	}
+	foldsKey := fmt.Sprintf("folds|%s|%d|%d|%d|%d|%s", snap.ContentHash(), cfg.Terms, cfg.Seed, w, cfg.Folds, cfg.Sampling)
+	v, _ := featureCache.DoScoped(featcache.ScopeTraining, foldsKey, func() (any, error) {
+		_, inputs, err := eval.PrepareFoldsCtx(nil, ds, cfg.Folds, cfg.Seed, smp)
+		return inputs, err
+	})
+	return eval.CrossValidateOpts(ds, cfg.Folds, cfg.Seed, trainer, smp, eval.CVOptions{
+		Workers:  cfg.Workers,
+		Prepared: v.([]eval.FoldInput),
+	})
 }
 
 // nggDocuments renders each pharmacy's (subsampled) terms back into a
@@ -160,6 +178,13 @@ const nggDocGrain = 16
 // for the given document texts, using class graphs merged from the
 // instances listed in classIdx (typically a random half of the training
 // fold, following the paper's protocol).
+//
+// This is the standalone (per-call graph construction) path. The
+// training pipeline itself goes through the shared trainingPlane
+// (featplane.go), which prebuilds every document graph once and hands
+// bit-identical feature rows to all folds; this function remains the
+// reference the plane is pinned against and the entry point for
+// callers without a snapshot (ad-hoc document sets).
 func NGGFeatureDataset(docs []string, labels []int, names []string, classIdx []int) *ml.Dataset {
 	legitClass, illegitClass := nggClassGraphs(docs, labels, classIdx)
 
@@ -218,19 +243,19 @@ type nggFoldData struct {
 	ds    []*ml.Dataset
 }
 
-func nggFoldFeatures(snap *dataset.Snapshot, terms, foldCount int, seed int64) *nggFoldData {
+func nggFoldFeatures(snap *dataset.Snapshot, terms, foldCount int, seed int64, workers int) *nggFoldData {
 	key := fmt.Sprintf("ngg|%s|%d|%d|%d", snap.ContentHash(), terms, foldCount, seed)
-	v, _ := featureCache.Do(key, func() (any, error) {
-		docs := nggDocuments(snap, terms, seed)
-		labels := snap.Labels()
-		names := snap.Domains()
+	v, _ := featureCache.DoScoped(featcache.ScopeTraining, key, func() (any, error) {
+		plane := trainingPlaneFor(snap, terms, seed)
+		labels := plane.Labels
 		labelDS := &ml.Dataset{Dim: 1, X: make([]ml.Vector, len(labels)), Y: labels}
 		folds := eval.StratifiedKFold(labelDS, foldCount, seed)
 		rng := rand.New(rand.NewSource(seed + 17))
 
 		// Pre-draw the per-fold class-graph halves in fold order so the
-		// master RNG stream matches the sequential protocol; the dataset
-		// builds themselves parallelize internally over documents.
+		// master RNG stream matches the sequential protocol; the matrix
+		// builds themselves read only the shared plane, so the folds fan
+		// out per the autotuned grain plan.
 		halves := make([][]int, len(folds))
 		for f := range folds {
 			trainIdx, _ := folds.TrainTest(f)
@@ -242,10 +267,13 @@ func nggFoldFeatures(snap *dataset.Snapshot, terms, foldCount int, seed int64) *
 			}
 			halves[f] = half
 		}
+		plan := parallel.PlanGrainFor("ngg-folds", parallel.Workers(workers), len(folds), len(plane.Docs))
+		plane.acquire()
+		defer plane.release()
 		data := &nggFoldData{folds: folds, ds: make([]*ml.Dataset, len(folds))}
-		for f := range folds {
-			data.ds[f] = NGGFeatureDataset(docs, labels, names, halves[f])
-		}
+		parallel.For(len(folds), plan.FoldWorkers, func(f int) {
+			data.ds[f] = plane.featureDataset(halves[f], plan.DocWorkers, plan.DocGrain)
+		})
 		return data, nil
 	})
 	return v.(*nggFoldData)
@@ -263,7 +291,7 @@ func nggCV(snap *dataset.Snapshot, cfg TextConfig) (eval.CVResult, error) {
 		return eval.CVResult{}, err
 	}
 	labels := snap.Labels()
-	data := nggFoldFeatures(snap, cfg.Terms, cfg.Folds, cfg.Seed)
+	data := nggFoldFeatures(snap, cfg.Terms, cfg.Folds, cfg.Seed, cfg.Workers)
 	folds := data.folds
 
 	frs, err := parallel.MapErr(len(folds), cfg.Workers, func(f int) (eval.FoldResult, error) {

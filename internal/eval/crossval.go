@@ -161,6 +161,52 @@ type CVOptions struct {
 	// configurations replays the wrong folds. Empty disables
 	// checkpointing even when Checkpoint is set.
 	CheckpointKey string
+	// Prepared, when non-nil, supplies the materialized fold inputs and
+	// skips the pre-draw phase entirely. It must come from
+	// PrepareFoldsCtx with the same (ds, k, seed, sampler) — the caller
+	// vouches for that, typically by caching the prepared folds under a
+	// key that encodes all four. The inputs are read shared and
+	// read-only, so one prepared set can back many concurrent CV runs
+	// (e.g. every classifier evaluated on the same training plane).
+	Prepared []FoldInput
+}
+
+// FoldInput is one fold's materialized training input: the (possibly
+// resampled) training set and the held-out test indices. Instances of
+// this type are shared read-only between CV runs; do not mutate the
+// training set.
+type FoldInput struct {
+	TrainSet *ml.Dataset
+	TestIdx  []int
+}
+
+// PrepareFoldsCtx materializes every fold's training input for a CV
+// run, sequentially in fold order — including each sampler draw from
+// the master seed's RNG stream, exactly as the sequential protocol
+// demands. The result is the shareable fold plane of a (dataset, k,
+// seed, sampler) configuration: CrossValidateCtx with
+// CVOptions.Prepared set consumes it without re-drawing, and several
+// classifiers evaluated over the same configuration can reuse one
+// prepared set with bit-identical results.
+func PrepareFoldsCtx(ctx context.Context, ds *ml.Dataset, k int, seed int64, sample Sampler) (Folds, []FoldInput, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	folds := StratifiedKFold(ds, k, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	inputs := make([]FoldInput, len(folds))
+	for f := range folds {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		trainIdx, testIdx := folds.TrainTest(f)
+		trainSet := ds.Subset(trainIdx)
+		if sample != nil {
+			trainSet = sample(trainSet, rng)
+		}
+		inputs[f] = FoldInput{TrainSet: trainSet, TestIdx: testIdx}
+	}
+	return folds, inputs, nil
 }
 
 // foldCheckpointKind is the checkpoint namespace for CV fold results.
@@ -201,29 +247,23 @@ func CrossValidateCtx(ctx context.Context, ds *ml.Dataset, k int, seed int64, tr
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	folds := StratifiedKFold(ds, k, seed)
-	rng := rand.New(rand.NewSource(seed + 1))
-
 	// Pre-draw phase (sequential, fold order): consume the shared
 	// sampler stream exactly as the sequential loop did. This phase must
 	// run in full even for a checkpoint-resumed CV — skipping a fold's
-	// draws would shift the stream of every later fold.
-	type foldInput struct {
-		trainSet *ml.Dataset
-		testIdx  []int
-	}
-	inputs := make([]foldInput, len(folds))
-	for f := range folds {
-		if err := ctx.Err(); err != nil {
+	// draws would shift the stream of every later fold. A caller that
+	// already holds the prepared fold plane passes it in and skips the
+	// draws wholesale (they happened once, when the plane was built).
+	inputs := opt.Prepared
+	if inputs == nil {
+		var err error
+		_, inputs, err = PrepareFoldsCtx(ctx, ds, k, seed, sample)
+		if err != nil {
 			return CVResult{}, err
 		}
-		trainIdx, testIdx := folds.TrainTest(f)
-		trainSet := ds.Subset(trainIdx)
-		if sample != nil {
-			trainSet = sample(trainSet, rng)
-		}
-		inputs[f] = foldInput{trainSet: trainSet, testIdx: testIdx}
+	} else if len(inputs) != k {
+		return CVResult{}, fmt.Errorf("eval: %d prepared folds for k=%d", len(inputs), k)
 	}
+	folds := inputs
 
 	ckpt := opt.Checkpoint
 	if opt.CheckpointKey == "" {
@@ -240,11 +280,11 @@ func CrossValidateCtx(ctx context.Context, ds *ml.Dataset, k int, seed int64, tr
 			}
 		}
 		clf := train()
-		if err := clf.Fit(inputs[f].trainSet); err != nil {
+		if err := clf.Fit(inputs[f].TrainSet); err != nil {
 			return FoldResult{}, err
 		}
-		fr := FoldResult{TestIndex: inputs[f].testIdx}
-		for _, i := range inputs[f].testIdx {
+		fr := FoldResult{TestIndex: inputs[f].TestIdx}
+		for _, i := range inputs[f].TestIdx {
 			p := clf.Prob(ds.X[i])
 			fr.Scores = append(fr.Scores, p)
 			fr.Labels = append(fr.Labels, ds.Y[i])

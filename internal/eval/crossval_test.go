@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -153,5 +154,43 @@ func TestCVResultCI(t *testing.T) {
 	}
 	if math.IsNaN(res.PooledAUC()) {
 		t.Error("PooledAUC NaN")
+	}
+}
+
+// TestCrossValidatePreparedFoldsEquivalent pins the fold-plane sharing
+// contract: a CV run over externally prepared folds is bit-identical to
+// one that draws its own, with and without a stream-consuming sampler,
+// and a reused prepared set keeps later runs identical too.
+func TestCrossValidatePreparedFoldsEquivalent(t *testing.T) {
+	ds := imbalancedDataset(120, 24, 7)
+	trainer := func() ml.Classifier { return &thresholdClassifier{} }
+	sampler := func(d *ml.Dataset, rng *rand.Rand) *ml.Dataset {
+		// Draw from the master stream so stream alignment is exercised.
+		idx := rng.Perm(d.Len())[: d.Len()/2+1]
+		sort.Ints(idx)
+		return d.Subset(idx)
+	}
+	for _, smp := range []Sampler{nil, sampler} {
+		inline, err := CrossValidate(ds, 3, 42, trainer, smp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, inputs, err := PrepareFoldsCtx(nil, ds, 3, 42, smp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range 2 { // a prepared set is reusable across runs
+			prepared, err := CrossValidateOpts(ds, 3, 42, trainer, smp, CVOptions{Prepared: inputs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline, prepared) {
+				t.Fatalf("prepared-folds CV differs from inline pre-draw (sampler=%v)", smp != nil)
+			}
+		}
+	}
+	// Mismatched fold counts are rejected, not silently misused.
+	if _, err := CrossValidateOpts(ds, 4, 42, trainer, nil, CVOptions{Prepared: make([]FoldInput, 3)}); err == nil {
+		t.Fatal("k=4 accepted 3 prepared folds")
 	}
 }

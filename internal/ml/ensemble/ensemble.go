@@ -203,6 +203,17 @@ func bagMetric(sum []float64, n int, labels []int, metric func([]float64, []int)
 	return metric(avg, labels)
 }
 
+// bagMetricInto is bagMetric with caller-owned scratch: the averaged
+// scores land in avg (len(sum)) and the divisions are element-by-element
+// like bagMetric's, so the metric sees bit-identical inputs without a
+// fresh allocation per candidate bag.
+func bagMetricInto(avg, sum []float64, n int, labels []int, metric func([]float64, []int) float64) float64 {
+	for i, v := range sum {
+		avg[i] = v / float64(n)
+	}
+	return metric(avg, labels)
+}
+
 // Prob averages the probability outputs of the selected bag (models
 // count with their selection multiplicity).
 func (s *Selection) Prob(x ml.Vector) float64 {
@@ -247,7 +258,85 @@ func (s *Selection) SelectionOrder() []string {
 // entry point lets callers ensemble heterogeneous models (e.g. text
 // classifiers and the TrustRank network model) whose feature spaces
 // differ, as in the paper's Section 6.3.3.
+//
+// This is the kernelized selection: single-model metric values are
+// computed once (not once per sort comparison) and every candidate-bag
+// evaluation reuses one averaging scratch, so a selection run costs
+// O(library) metric calls for the init plus one per candidate, and a
+// constant number of allocations regardless of rounds. The chosen
+// sequence is bit-identical to SelectGreedyReference: the sort reads a
+// table of the same metric values, and the scratch holds the same
+// element-by-element averages the reference computed into fresh slices.
+// The metric must treat its argument as read-only and not retain it
+// across calls (every repository metric qualifies).
 func SelectGreedy(probs [][]float64, labels []int, initTopN, maxRounds int, metric func([]float64, []int) float64) []int {
+	if len(probs) == 0 {
+		return nil
+	}
+	if metric == nil {
+		metric = eval.AUC
+	}
+	if initTopN <= 0 {
+		initTopN = 2
+	}
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	n := len(labels)
+
+	single := make([]int, len(probs))
+	singleScore := make([]float64, len(probs))
+	for m := range probs {
+		single[m] = m
+		singleScore[m] = metric(probs[m], labels)
+	}
+	sort.SliceStable(single, func(a, b int) bool {
+		return singleScore[single[a]] > singleScore[single[b]]
+	})
+	if initTopN > len(single) {
+		initTopN = len(single)
+	}
+	selected := make([]int, 0, initTopN+maxRounds) // final size known up front
+	selected = append(selected, single[:initTopN]...)
+
+	sum := make([]float64, n)
+	for _, m := range selected {
+		for i := 0; i < n; i++ {
+			sum[i] += probs[m][i]
+		}
+	}
+	avg := make([]float64, n) // shared averaging scratch
+	current := bagMetricInto(avg, sum, len(selected), labels, metric)
+	cand := make([]float64, n)
+	for round := 0; round < maxRounds; round++ {
+		best, bestScore := -1, current
+		for m := range probs {
+			for i := 0; i < n; i++ {
+				cand[i] = sum[i] + probs[m][i]
+			}
+			if sc := bagMetricInto(avg, cand, len(selected)+1, labels, metric); sc > bestScore {
+				best, bestScore = m, sc
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		for i := 0; i < n; i++ {
+			sum[i] += probs[best][i]
+		}
+		current = bestScore
+	}
+	return selected
+}
+
+// SelectGreedyReference is the pre-kernel implementation of SelectGreedy,
+// kept verbatim as the naive reference: the sort re-evaluates the metric
+// inside its comparator and every candidate bag averages into a fresh
+// slice. The property tests and the training benchmarks pin SelectGreedy
+// against it — same selections, strictly fewer metric calls and
+// allocations.
+func SelectGreedyReference(probs [][]float64, labels []int, initTopN, maxRounds int, metric func([]float64, []int) float64) []int {
 	if len(probs) == 0 {
 		return nil
 	}

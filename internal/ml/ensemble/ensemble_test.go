@@ -261,3 +261,91 @@ func TestShuffleDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectGreedyMatchesReference is the kernel's bit-identity
+// property: on randomized probability tables, labels, library sizes and
+// round budgets, the kernelized SelectGreedy must pick the exact
+// sequence the pre-kernel reference picks, under the default AUC metric
+// and a custom one.
+func TestSelectGreedyMatchesReference(t *testing.T) {
+	meanDiff := func(scores []float64, labels []int) float64 {
+		var pos, neg, np, nn float64
+		for i, s := range scores {
+			if labels[i] == ml.Legitimate {
+				pos += s
+				np++
+			} else {
+				neg += s
+				nn++
+			}
+		}
+		return pos/math.Max(np, 1) - neg/math.Max(nn, 1)
+	}
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		models := 2 + rng.Intn(9)
+		n := 10 + rng.Intn(60)
+		probs := make([][]float64, models)
+		for m := range probs {
+			probs[m] = make([]float64, n)
+			for i := range probs[m] {
+				probs[m][i] = rng.Float64()
+			}
+		}
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(2)
+		}
+		initTop := 1 + rng.Intn(3)
+		rounds := 1 + rng.Intn(25)
+		metric := eval.AUC
+		if trial%2 == 1 {
+			metric = meanDiff
+		}
+		got := SelectGreedy(probs, labels, initTop, rounds, metric)
+		want := SelectGreedyReference(probs, labels, initTop, rounds, metric)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: selected %d models, reference %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: selection[%d] = %d, reference %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSelectGreedyAllocs pins the kernel's allocation profile: with an
+// allocation-free metric, a whole selection run costs a small constant
+// number of allocations (index/score tables, sum/avg/cand scratch and
+// the selected slice) — independent of rounds and library size.
+func TestSelectGreedyAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const models, n = 12, 96
+	probs := make([][]float64, models)
+	for m := range probs {
+		probs[m] = make([]float64, n)
+		for i := range probs[m] {
+			probs[m][i] = rng.Float64()
+		}
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(2)
+	}
+	sum := func(scores []float64, labels []int) float64 {
+		var s float64
+		for i, v := range scores {
+			if labels[i] == ml.Legitimate {
+				s += v
+			}
+		}
+		return s
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		SelectGreedy(probs, labels, 2, 20, sum)
+	})
+	if allocs > 8 {
+		t.Errorf("SelectGreedy costs %.1f allocs, want <= 8", allocs)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -800,6 +801,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ratio = float64(hits) / float64(hits+misses)
 	}
 	writeMetric(w, "pharmaverify_cache_hit_ratio", "Verdict cache hit ratio since start.", "gauge", formatFloat(ratio))
+
+	// Shared feature cache, split by scope: "training" counts plane
+	// reuse across ensemble members and folds, "serving" counts
+	// per-request feature memoization. Scopes render in sorted order
+	// for a stable exposition.
+	fcStats := core.FeatureCacheScopeStats()
+	fcScopes := make([]string, 0, len(fcStats))
+	for scope := range fcStats {
+		fcScopes = append(fcScopes, scope)
+	}
+	sort.Strings(fcScopes)
+	fmt.Fprintf(w, "# HELP pharmaverify_featcache_hits_total Shared feature cache hits by accounting scope.\n# TYPE pharmaverify_featcache_hits_total counter\n")
+	for _, scope := range fcScopes {
+		fmt.Fprintf(w, "pharmaverify_featcache_hits_total{scope=%q} %d\n", scope, fcStats[scope].Hits)
+	}
+	fmt.Fprintf(w, "# HELP pharmaverify_featcache_misses_total Shared feature cache misses by accounting scope.\n# TYPE pharmaverify_featcache_misses_total counter\n")
+	for _, scope := range fcScopes {
+		fmt.Fprintf(w, "pharmaverify_featcache_misses_total{scope=%q} %d\n", scope, fcStats[scope].Misses)
+	}
 
 	// Shadow deployment: candidate-model double-assessment and the
 	// promotion lifecycle (cumulative across candidates), plus the

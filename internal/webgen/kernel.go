@@ -1,0 +1,165 @@
+package webgen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the pooled render kernel behind Generate: the same page
+// bytes render.go produces with strings.Builder and fmt, built instead
+// by direct appends into a reusable per-worker buffer. The formatting
+// calls are replaced one-for-one (%q on a link is strconv.AppendQuote,
+// which is fmt's own string quoting), every RNG draw happens in the
+// same order and under the same short-circuit conditions, and
+// paragraphs append into the page buffer instead of materializing
+// intermediate strings — so the output is byte-identical to the serial
+// reference (GenerateReference), which the package tests pin across
+// seeds, drift knobs and worker counts.
+
+// renderBuf is one worker's render scratch: the page byte buffer and
+// the path list survive across the sites of a chunk, so a warm buffer
+// allocates nothing per page beyond the final string.
+type renderBuf struct {
+	page  []byte
+	paths []string
+}
+
+var renderBufPool = sync.Pool{New: func() any { return &renderBuf{page: make([]byte, 0, 4096)} }}
+
+// renderSiteFast generates all pages of a site through the kernel.
+func (w *World) renderSiteFast(s *Site, rb *renderBuf) {
+	cfg := w.cfg
+	rng := siteRNG(cfg.Seed, cfg.Snapshot, templateID(s), "site")
+	m := w.textMixture(s)
+
+	nPages := cfg.MinPages + rng.Intn(cfg.MaxPages-cfg.MinPages+1)
+	paths := append(rb.paths[:0], "/", "/about", "/contact")
+	for i := 0; len(paths) < nPages; i++ {
+		if s.Legitimate && i%3 == 2 {
+			paths = append(paths, "/health/"+strconv.Itoa(i))
+		} else {
+			paths = append(paths, "/products/"+strconv.Itoa(i))
+		}
+	}
+	rb.paths = paths
+
+	externals := w.externalLinks(s, rng)
+
+	s.Pages = make(map[string]string, len(paths))
+	s.Paths = append([]string(nil), paths...)
+	for pi, path := range paths {
+		s.Pages[path] = w.renderPageFast(s, rng, m, paths, pi, externals, rb)
+	}
+}
+
+// renderPageFast is renderPage with pooled append-based construction.
+func (w *World) renderPageFast(s *Site, rng *rand.Rand, m mixture, paths []string, pi int, externals []string, rb *renderBuf) string {
+	cfg := w.cfg
+	path := paths[pi]
+	b := rb.page[:0]
+
+	b = append(b, "<html><head><title>"...)
+	b = appendPageTitle(b, s, path)
+	b = append(b, "</title></head><body>\n<h1>"...)
+	b = appendPageTitle(b, s, path)
+	b = append(b, "</h1>\n"...)
+
+	// Navigation: the front page links to every page; inner pages link
+	// home and to the next page so breadth-first crawls reach everything.
+	b = append(b, "<div class=\"nav\">\n"...)
+	if path == "/" {
+		for _, p := range paths[1:] {
+			b = append(b, "<a href="...)
+			b = strconv.AppendQuote(b, p)
+			b = append(b, '>')
+			b = append(b, strings.Trim(p, "/")...)
+			b = append(b, "</a>\n"...)
+		}
+	} else {
+		b = append(b, "<a href=\"/\">home</a>\n<a href="...)
+		b = strconv.AppendQuote(b, paths[(pi+1)%len(paths)])
+		b = append(b, ">next</a>\n"...)
+	}
+	b = append(b, "</div>\n"...)
+
+	// Trust seals: legitimate pharmacies display verification seals,
+	// one of the store-presence signals from the paper's related work.
+	if s.Legitimate && (path == "/" || path == "/about") {
+		b = append(b, "<div class=\"seal\">VIPPS accredited pharmacy — verified by NABP. Licensed pharmacist consultation available. Valid prescription required.</div>\n"...)
+	}
+	if !s.Legitimate && !s.Evader && (path == "/" || strings.HasPrefix(path, "/products")) {
+		b = append(b, "<div class=\"banner\">Cheap generic viagra cialis — no prescription needed! Worldwide discreet overnight shipping. Bonus pills with every order.</div>\n"...)
+	}
+
+	// Body paragraphs.
+	words := cfg.MinWords + rng.Intn(cfg.MaxWords-cfg.MinWords+1)
+	nPar := 2 + rng.Intn(3)
+	for i := 0; i < nPar; i++ {
+		b = append(b, "<p>"...)
+		b = appendParagraph(b, rng, m, words/nPar)
+		b = append(b, "</p>\n"...)
+	}
+
+	// External links: spread across pages; the front page always gets
+	// the first few so even shallow crawls observe them.
+	b = append(b, "<div class=\"links\">\n"...)
+	for i, l := range externals {
+		onFront := i < 4
+		if (path == "/" && onFront) || (!onFront && i%len(paths) == pi) || rng.Float64() < 0.15 {
+			b = append(b, "<a href="...)
+			b = strconv.AppendQuote(b, l)
+			b = append(b, ">partner</a>\n"...)
+		}
+	}
+	b = append(b, "</div>\n<div class=\"footer\">&copy; "...)
+	b = append(b, s.Domain...)
+	b = append(b, "</div>\n</body></html>\n"...)
+
+	rb.page = b // keep the grown capacity for the next page
+	return string(b)
+}
+
+// appendParagraph renders n words as sentence-like chunks, appending
+// into the page buffer — the byte stream (and RNG draw sequence) of
+// paragraph, without its intermediate string.
+func appendParagraph(b []byte, rng *rand.Rand, m mixture, n int) []byte {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if i%11 == 10 {
+				b = append(b, ". "...)
+			} else {
+				b = append(b, ' ')
+			}
+		}
+		b = append(b, sampleWord(rng, m)...)
+	}
+	return append(b, '.')
+}
+
+// appendPageTitle appends pageTitle's bytes without building the
+// intermediate string.
+func appendPageTitle(b []byte, s *Site, path string) []byte {
+	base := strings.SplitN(s.Domain, ".", 2)[0]
+	switch {
+	case path == "/":
+		b = append(b, base...)
+		if s.Legitimate {
+			return append(b, " — your trusted licensed pharmacy"...)
+		}
+		return append(b, " — cheap meds online"...)
+	case path == "/about":
+		b = append(b, "About "...)
+		return append(b, base...)
+	case path == "/contact":
+		b = append(b, "Contact "...)
+		return append(b, base...)
+	case strings.HasPrefix(path, "/health/"):
+		b = append(b, base...)
+		return append(b, " health information"...)
+	default:
+		b = append(b, base...)
+		return append(b, " products"...)
+	}
+}

@@ -1,0 +1,99 @@
+package webgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"pharmaverify/internal/parallel"
+)
+
+// worldsEqual compares two worlds site by site, page by page, including
+// the unexported endpoint assignments that drive the link graph.
+func worldsEqual(t *testing.T, a, b *World) {
+	t.Helper()
+	ad, bd := a.Domains(), b.Domains()
+	if len(ad) != len(bd) {
+		t.Fatalf("domain counts differ: %d vs %d", len(ad), len(bd))
+	}
+	for i, d := range ad {
+		if bd[i] != d {
+			t.Fatalf("domain[%d] = %q vs %q", i, d, bd[i])
+		}
+		sa, sb := a.Site(d), b.Site(d)
+		if len(sa.Paths) != len(sb.Paths) {
+			t.Fatalf("%s: path counts differ: %d vs %d", d, len(sa.Paths), len(sb.Paths))
+		}
+		for j, p := range sa.Paths {
+			if sb.Paths[j] != p {
+				t.Fatalf("%s: paths[%d] = %q vs %q", d, j, p, sb.Paths[j])
+			}
+			if sa.Pages[p] != sb.Pages[p] {
+				t.Fatalf("%s%s: page bytes differ", d, p)
+			}
+		}
+		if len(sa.externals) != len(sb.externals) {
+			t.Fatalf("%s: external counts differ: %d vs %d", d, len(sa.externals), len(sb.externals))
+		}
+		for j := range sa.externals {
+			if sa.externals[j] != sb.externals[j] {
+				t.Fatalf("%s: externals[%d] = %q vs %q", d, j, sa.externals[j], sb.externals[j])
+			}
+		}
+	}
+}
+
+// TestGenerateMatchesReference is the generation kernel's bit-identity
+// property: across randomized seeds, snapshots, drift knobs and worker
+// counts, the pooled parallel Generate must reproduce the historical
+// sequential GenerateReference byte for byte — pages, paths and
+// endpoint assignments alike.
+func TestGenerateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		cfg := Config{
+			Seed:       rng.Int63n(1 << 40),
+			Snapshot:   1 + trial%2,
+			NumLegit:   4 + rng.Intn(8),
+			NumIllegit: 20 + rng.Intn(30),
+		}
+		if cfg.Snapshot == 2 {
+			cfg.VocabShift = rng.Float64() * 0.5
+			cfg.LinkChurn = rng.Float64() * 0.3
+		}
+		if trial == 4 {
+			cfg.BurstFraction = 0.3
+			cfg.BurstCohortSize = 4
+		}
+		ref := GenerateReference(cfg)
+		for _, workers := range []int{1, 2, 5} {
+			prev := parallel.Default()
+			parallel.SetDefault(workers)
+			got := Generate(cfg)
+			parallel.SetDefault(prev)
+			worldsEqual(t, ref, got)
+		}
+	}
+}
+
+// TestRenderPageKernelAllocs pins the pooled render kernel's per-page
+// cost: with a warm buffer, one page costs the final string plus at
+// most the map-insert amortization — not the dozens of Builder/fmt
+// intermediates the reference pays.
+func TestRenderPageKernelAllocs(t *testing.T) {
+	w, order := buildWorld(Config{Seed: 7, Snapshot: 1, NumLegit: 4, NumIllegit: 20}, false)
+	s := w.sites[order[0]]
+	rb := &renderBuf{page: make([]byte, 0, 1<<14)}
+	w.renderSiteFast(s, rb) // warm: buffer grown, paths cached
+
+	allocs := testing.AllocsPerRun(20, func() {
+		w.renderSiteFast(s, rb)
+	})
+	pages := float64(len(s.Paths))
+	// One string per page plus the site's fixed costs (rng + draw
+	// hashes, path and external-link strings, the Pages map) come to
+	// about 5 allocs/page; the Builder+fmt reference pays ~30/page.
+	// Budget 6/page so the pin trips on a regression, not on noise.
+	if allocs > pages*6 {
+		t.Errorf("warm renderSiteFast costs %.1f allocs for %d pages (> %d budget)", allocs, len(s.Paths), int(pages*6))
+	}
+}

@@ -153,6 +153,51 @@ func templateID(s *Site) string {
 	return s.Domain
 }
 
+// assignExternalsReference is the historical endpoint assignment: the
+// per-(site,endpoint) draw recomputed inside the sort comparator —
+// every comparison paying two hasher+RNG constructions. Kept verbatim
+// as the naive reference assignExternals is pinned against (the draws
+// are distinct, so both sorts produce the same unique order).
+func (w *World) assignExternalsReference() {
+	var legitSites, illegitSites []*Site
+	for _, d := range w.domains {
+		s := w.sites[d]
+		switch {
+		case s.Legitimate && !s.Isolated:
+			legitSites = append(legitSites, s)
+		case !s.Legitimate && !s.Evader:
+			illegitSites = append(illegitSites, s)
+		}
+	}
+	assign := func(sites []*Site, ep weightedEndpoint) {
+		k := int(ep.P*float64(len(sites)) + 0.5)
+		if k <= 0 {
+			return
+		}
+		order := make([]*Site, len(sites))
+		copy(order, sites)
+		sort.Slice(order, func(i, j int) bool {
+			return roleDraw(w.cfg.Seed, order[i].Domain, "ep|"+ep.Domain) <
+				roleDraw(w.cfg.Seed, order[j].Domain, "ep|"+ep.Domain)
+		})
+		if k > len(order) {
+			k = len(order)
+		}
+		for _, s := range order[:k] {
+			s.externals = append(s.externals, "http://www."+ep.Domain+"/")
+		}
+	}
+	for _, ep := range legitEndpoints {
+		assign(legitSites, ep)
+	}
+	for _, ep := range illegitEndpoints {
+		assign(illegitSites, ep)
+	}
+	for _, ep := range legitEndpoints[:5] {
+		assign(illegitSites, weightedEndpoint{Domain: ep.Domain, P: 0.12})
+	}
+}
+
 // renderSite generates all pages of a site.
 func (w *World) renderSite(s *Site) {
 	cfg := w.cfg

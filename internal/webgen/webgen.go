@@ -15,6 +15,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+
+	"pharmaverify/internal/parallel"
 )
 
 // Config controls world generation.
@@ -157,8 +159,44 @@ type World struct {
 	domains []string
 }
 
-// Generate builds the world for a configuration.
+// Generate builds the world for a configuration. Sites render through
+// the pooled byte-buffer kernel on the process worker pool (render.go
+// keeps the serial reference; see GenerateReference) — the output is
+// byte-identical either way, pinned by the package tests.
 func Generate(cfg Config) *World {
+	w, order := buildWorld(cfg, false)
+	plan := parallel.PlanGrainFor("webgen-render", 0, 1, len(order))
+	parallel.ForGrain(len(order), plan.DocWorkers, plan.DocGrain, func(lo, hi int) {
+		rb := renderBufPool.Get().(*renderBuf)
+		for i := lo; i < hi; i++ {
+			w.renderSiteFast(w.sites[order[i]], rb)
+		}
+		renderBufPool.Put(rb)
+	})
+	return w
+}
+
+// GenerateReference is Generate through the historical sequential
+// paths: comparator-driven endpoint assignment and the
+// strings.Builder + fmt renderer, one site at a time. It exists as the
+// naive reference the generation kernels are pinned against in tests
+// and the training benchmarks; production callers want Generate.
+func GenerateReference(cfg Config) *World {
+	w, order := buildWorld(cfg, true)
+	for _, d := range order {
+		w.renderSite(w.sites[d])
+	}
+	return w
+}
+
+// buildWorld runs every generation phase except page rendering: site
+// plans, role assignment, hub attachment, external-endpoint assignment
+// and churn. It returns the world plus the site rendering order (plan
+// order: legitimate then illegitimate). Rendering is a pure per-site
+// function of the returned state, which is what lets Generate fan it
+// out. reference selects the historical endpoint-assignment sort (see
+// assignExternalsReference).
+func buildWorld(cfg Config, reference bool) (*World, []string) {
 	cfg = cfg.withDefaults()
 	w := &World{cfg: cfg, sites: make(map[string]*Site)}
 
@@ -211,10 +249,9 @@ func Generate(cfg Config) *World {
 		s.BurstCohort = i / cfg.BurstCohortSize
 	}
 
-	// Second pass: attach networked members to hubs, assign the
+	// Second pass: attach networked members to hubs and assign the
 	// well-known external endpoints with exact per-endpoint counts
-	// (so the Table-11 ordering is structural, not sampling luck), and
-	// render pages.
+	// (so the Table-11 ordering is structural, not sampling luck).
 	for _, p := range plans {
 		s := w.sites[p.domain]
 		if !s.Legitimate && !s.Hub && !s.Evader && len(hubs) > 0 {
@@ -226,7 +263,11 @@ func Generate(cfg Config) *World {
 	for i, s := range burst {
 		s.HubDomain = burst[(i/cfg.BurstCohortSize)*cfg.BurstCohortSize].HubDomain
 	}
-	w.assignExternals()
+	if reference {
+		w.assignExternalsReference()
+	} else {
+		w.assignExternals()
+	}
 	if cfg.LinkChurn > 0 && cfg.Snapshot >= 2 {
 		w.churnExternals()
 	}
@@ -236,10 +277,11 @@ func Generate(cfg Config) *World {
 		leader := burst[(i/cfg.BurstCohortSize)*cfg.BurstCohortSize]
 		s.externals = append([]string(nil), leader.externals...)
 	}
-	for _, p := range plans {
-		w.renderSite(w.sites[p.domain])
+	order := make([]string, len(plans))
+	for i, p := range plans {
+		order[i] = p.domain
 	}
-	return w
+	return w, order
 }
 
 // churnExternals models link-farm churn between crawl epochs: each
@@ -297,17 +339,28 @@ func (w *World) assignExternals() {
 			illegitSites = append(illegitSites, s)
 		}
 	}
+	// Kernelized selection: the per-(site,endpoint) hash draw is a pure
+	// function, so it is computed once per site into a key table instead
+	// of twice per sort comparison (where each roleDraw call paid a
+	// hasher, a formatted write and a freshly seeded RNG). The draws are
+	// distinct in practice, so sorting by the table yields the exact
+	// order the comparator-driven reference sort produces; the reference
+	// lives in assignExternalsReference and the package tests pin full
+	// worlds byte-identical across both paths.
+	var order []*Site
+	var keys []float64
 	assign := func(sites []*Site, ep weightedEndpoint) {
 		k := int(ep.P*float64(len(sites)) + 0.5)
 		if k <= 0 {
 			return
 		}
-		order := make([]*Site, len(sites))
-		copy(order, sites)
-		sort.Slice(order, func(i, j int) bool {
-			return roleDraw(w.cfg.Seed, order[i].Domain, "ep|"+ep.Domain) <
-				roleDraw(w.cfg.Seed, order[j].Domain, "ep|"+ep.Domain)
-		})
+		order = append(order[:0], sites...)
+		keys = keys[:0]
+		role := "ep|" + ep.Domain
+		for _, s := range sites {
+			keys = append(keys, roleDraw(w.cfg.Seed, s.Domain, role))
+		}
+		sort.Sort(&siteKeySort{sites: order, keys: keys})
 		if k > len(order) {
 			k = len(order)
 		}
@@ -326,6 +379,20 @@ func (w *World) assignExternals() {
 	for _, ep := range legitEndpoints[:5] {
 		assign(illegitSites, weightedEndpoint{Domain: ep.Domain, P: 0.12})
 	}
+}
+
+// siteKeySort orders sites by their precomputed draw keys, swapping
+// both slices in lockstep (see assignExternals).
+type siteKeySort struct {
+	sites []*Site
+	keys  []float64
+}
+
+func (s *siteKeySort) Len() int           { return len(s.sites) }
+func (s *siteKeySort) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *siteKeySort) Swap(i, j int) {
+	s.sites[i], s.sites[j] = s.sites[j], s.sites[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Domains returns all site domains in sorted order.
